@@ -1,0 +1,53 @@
+"""F10 - device-year failure probability under the composite fault model.
+
+Combines the weak-cell sweep (analytic) with the structured-fault severity
+measurements (exact engine) into the deployment question: *what is the
+probability a device silently corrupts data - or machine-checks - within a
+year of service?*  This is the figure-of-merit form of the paper's whole
+argument: at scaled weak-cell rates the p2-limited schemes corrupt with
+certainty, while PAIR turns every residual failure into a detectable event.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.faults import DEFAULT_RATES
+from repro.reliability import evaluate_system
+from repro.schemes import default_schemes
+
+BER = 1e-6  # a scaled-process weak-cell rate
+
+
+@pytest.fixture(scope="module")
+def system_rows():
+    rates = DEFAULT_RATES.with_ber(BER)
+    out = []
+    for scheme in default_schemes():
+        rel = evaluate_system(scheme, rates, trials_per_mode=16, samples=250)
+        out.append(
+            {
+                "scheme": rel.scheme,
+                "P(sdc within a year)": f"{rel.any_sdc_probability:.3e}",
+                "P(due within a year)": f"{rel.any_due_probability:.3e}",
+                "sdc_events/yr[single-cell]": f"{rel.sdc_per_year['single-cell']:.2e}",
+            }
+        )
+    return out
+
+
+def test_f10_composite_year_failure(benchmark, system_rows, report):
+    rows = benchmark(lambda: system_rows)
+    report(
+        f"F10: device-year failure probability, composite fault model "
+        f"(weak-cell BER {BER:.0e})",
+        format_table(rows),
+    )
+    by_name = {r["scheme"]: r for r in rows}
+    # the p^2-limited schemes corrupt silently with certainty at this BER
+    assert float(by_name["iecc-sec"]["P(sdc within a year)"]) > 0.99
+    assert float(by_name["xed"]["P(sdc within a year)"]) > 0.99
+    # PAIR and DUO: essentially zero silent corruption...
+    assert float(by_name["pair"]["P(sdc within a year)"]) < 1e-6
+    assert float(by_name["duo"]["P(sdc within a year)"]) < 1e-6
+    # ...with only the structured-fault population showing up, as DUEs
+    assert float(by_name["pair"]["P(due within a year)"]) < 0.05

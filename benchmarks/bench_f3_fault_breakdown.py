@@ -1,0 +1,72 @@
+"""F3 - outcome breakdown by structured fault class.
+
+For each fault class (single-cell burst of weak cells, row, column,
+pin-line, mat, transfer burst), plants one fault under the accessed line and
+reports how each scheme disposes of it: corrected / detected (DUE) / silent
+corruption (SDC).  This is the "widely distributed inherent faults"
+management picture of the paper.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.faults import DEFAULT_RATES, FaultType
+from repro.reliability import ExactRunConfig, run_single_fault
+from repro.schemes import default_schemes
+
+KINDS = [
+    FaultType.COLUMN,
+    FaultType.MAT,
+    FaultType.ROW,
+    FaultType.PIN_LINE,
+    FaultType.TRANSFER_BURST,
+]
+TRIALS = 24
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    results = {}
+    config = ExactRunConfig(trials=TRIALS, seed=0)
+    for scheme in default_schemes():
+        for kind in KINDS:
+            results[(scheme.name, kind)] = run_single_fault(
+                scheme, kind, DEFAULT_RATES, config
+            )
+    return results
+
+
+def test_f3_breakdown_table(benchmark, breakdown, report):
+    def rows():
+        out = []
+        for (scheme, kind), tally in breakdown.items():
+            out.append(
+                {
+                    "fault": kind.value,
+                    "scheme": scheme,
+                    "ok+ce": tally.ok + tally.ce,
+                    "due": tally.due,
+                    "sdc": tally.sdc,
+                    "survives": f"{(tally.ok + tally.ce) / tally.total:.2f}",
+                }
+            )
+        return sorted(out, key=lambda r: (r["fault"], r["scheme"]))
+
+    table = benchmark(rows)
+    report(
+        f"F3: disposition of one planted fault under the access ({TRIALS} trials)",
+        format_table(table),
+    )
+
+    def tally(scheme, kind):
+        return breakdown[(scheme, kind)]
+
+    # shape assertions: PAIR corrects columns/mats/bursts where SEC corrupts
+    assert tally("pair", FaultType.COLUMN).sdc == 0
+    assert tally("pair", FaultType.TRANSFER_BURST).ce == TRIALS
+    assert tally("no-ecc", FaultType.COLUMN).sdc > 0
+    # conventional IECC has no detection path: failures are all silent
+    assert tally("iecc-sec", FaultType.ROW).due == 0
+    assert tally("iecc-sec", FaultType.ROW).sdc > 0
+    # PAIR never silently consumes a row fault
+    assert tally("pair", FaultType.ROW).sdc == 0

@@ -1,0 +1,52 @@
+"""F4 - burst-error correction coverage vs burst length.
+
+Injects a write-path transfer burst of b consecutive beats on one pin and
+reports the fraction of reads each scheme survives.  The abstract's claim
+"its correction capability is sufficient to correct burst errors as well"
+maps to PAIR's flat 100% line: a per-pin burst of any length within the
+transfer touches at most two byte symbols of one pin-aligned codeword.
+"""
+
+import pytest
+
+from repro.analysis import format_series
+from repro.reliability import ExactRunConfig, run_burst_lengths
+from repro.schemes import default_schemes
+
+LENGTHS = [1, 2, 4, 6, 8, 10, 12, 16]
+TRIALS = 20
+
+
+@pytest.fixture(scope="module")
+def coverage():
+    results = {}
+    for scheme in default_schemes():
+        tallies = run_burst_lengths(
+            scheme, LENGTHS, ExactRunConfig(trials=TRIALS, seed=0)
+        )
+        results[scheme.name] = {
+            b: (t.ok + t.ce) / t.total for b, t in tallies.items()
+        }
+    return results
+
+
+def test_f4_burst_coverage_series(benchmark, coverage, report):
+    def series():
+        return {
+            name: [f"{coverage[name][b]:.2f}" for b in LENGTHS]
+            for name in coverage
+        }
+
+    data = benchmark(series)
+    report(
+        f"F4: fraction of reads surviving a b-beat burst on one pin "
+        f"({TRIALS} trials each)",
+        format_series("burst_beats", LENGTHS, data),
+    )
+    # PAIR corrects every burst length up to the full transfer
+    assert all(coverage["pair"][b] == 1.0 for b in LENGTHS)
+    # DUO's beat-aligned symbols survive short bursts, die past t = 6 beats
+    assert coverage["duo"][4] == 1.0
+    assert coverage["duo"][12] == 0.0
+    # the unprotected baseline never survives
+    assert coverage["no-ecc"][1] == 0.0

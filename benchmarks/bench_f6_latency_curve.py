@@ -1,0 +1,49 @@
+"""F6 - average read latency vs request intensity.
+
+Latency-throughput curves for the balanced mix: as the arrival rate climbs
+toward bus saturation, XED's write RMW and DUO's stretched bursts bend their
+curves up before PAIR's.
+"""
+
+import pytest
+
+from repro.analysis import format_series
+from repro.dram import AddressMapper, RANK_X8_5CHIP
+from repro.perf import TraceConfig, generate_trace, simulate
+from repro.schemes import default_schemes
+
+RATES = [0.02, 0.04, 0.06, 0.08, 0.10]
+
+
+@pytest.fixture(scope="module")
+def curves():
+    mapper = AddressMapper(RANK_X8_5CHIP)
+    schemes = default_schemes()
+    out = {s.name: [] for s in schemes}
+    for rate in RATES:
+        cfg = TraceConfig(
+            name=f"rate-{rate}", requests=8000, arrival_rate=rate,
+            write_fraction=0.3, masked_write_fraction=0.1, row_locality=0.6,
+            seed=1,
+        )
+        trace = generate_trace(cfg, mapper)
+        for s in schemes:
+            res = simulate(trace, s.timing_overlay, s.name, cfg.name)
+            out[s.name].append(res.read_latency_mean)
+    return out
+
+
+def test_f6_latency_vs_intensity(benchmark, curves, report):
+    def series():
+        return {name: [f"{v:.0f}" for v in vals] for name, vals in curves.items()}
+
+    data = benchmark(series)
+    report(
+        "F6: mean read latency (cycles) vs arrival rate (req/cycle)",
+        format_series("rate", RATES, data),
+    )
+    # at the highest intensity the ordering must hold
+    assert curves["pair"][-1] < curves["xed"][-1]
+    assert curves["pair"][-1] <= curves["duo"][-1] * 1.05
+    # and everyone is near-identical when the system is idle
+    assert abs(curves["pair"][0] - curves["no-ecc"][0]) < 10

@@ -1,0 +1,83 @@
+"""F7 - expandability ablation: one mother decoder across device widths.
+
+PAIR's title claim: the same Reed-Solomon machinery serves x4/x8/x16
+devices (pin count only changes how many per-pin decoders run in parallel)
+and shortened segment geometries (the shortened codes share the mother
+generator polynomial).  This bench regenerates the cross-width reliability
+and overhead comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.dram import DDR5_X4, DDR5_X8, DDR5_X16
+from repro.reliability import build_model
+from repro.schemes import PairScheme
+
+DEVICES = [DDR5_X4, DDR5_X8, DDR5_X16]
+
+
+@pytest.fixture(scope="module")
+def variants():
+    return {d.name: PairScheme.for_device(d) for d in DEVICES}
+
+
+def test_f7_cross_width_reliability(benchmark, variants, report):
+    def evaluate():
+        rows = []
+        for name, scheme in variants.items():
+            model = build_model(scheme, samples=200, seed=0)
+            probs = model.line_probs(1e-5)
+            rows.append(
+                {
+                    "device": name,
+                    "chips_per_line": scheme.rank.data_chips,
+                    "codewords_per_access": len(scheme.layout.codewords_of_access(0))
+                    * scheme.rank.data_chips,
+                    "t": scheme.t,
+                    "overhead": f"{scheme.storage_overhead:.4f}",
+                    "fail@1e-5": f"{probs['sdc'] + probs['due']:.2e}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    report("F7: PAIR across device widths (one mother decoder)", format_table(rows))
+    # the mother code is literally shared: same generator polynomial
+    gens = [v.code.inner.generator for v in variants.values()]
+    assert all(np.array_equal(g, gens[0]) for g in gens)
+    # same overhead and same t at every width
+    assert len({r["overhead"] for r in rows}) == 1
+    assert len({r["t"] for r in rows}) == 1
+
+
+def test_f7_shortened_segments_roundtrip(benchmark, report):
+    """Shortened expanded codes (smaller segments) on the same decoder."""
+    mother = PairScheme().code
+    rng = np.random.default_rng(0)
+    rows = []
+    for n, k in [(256, 240), (192, 176), (128, 112), (64, 48)]:
+        code = mother if n == 256 else mother.shortened(n, k)
+        data = rng.integers(0, 256, k)
+        word = code.encode(data)
+        for p in rng.choice(n, code.t, replace=False):
+            word[p] ^= rng.integers(1, 256)
+        result = code.decode(word)
+        assert result.believed_good and np.array_equal(result.data, data)
+        rows.append(
+            {
+                "segment": f"({n},{k})",
+                "t": code.t,
+                "overhead": f"{(n - k) / k:.4f}",
+                "corrected": result.corrections,
+            }
+        )
+
+    def fastest():
+        word = mother.encode(rng.integers(0, 256, 240))
+        return mother.decode(word)
+
+    benchmark(fastest)
+    report("F7 (detail): shortened segment variants on the mother decoder",
+           format_table(rows))

@@ -1,0 +1,80 @@
+"""F9 - scaling headroom: the tolerable weak-cell BER per scheme.
+
+The paper's motivation inverted into a single number: process scaling keeps
+raising the inherent weak-cell rate, so the question a vendor asks is *what
+BER can each IECC scheme absorb while staying under a failure budget?*
+This bench solves (by bisection on the analytic models) for the maximum
+BER at which each scheme's per-64B-read failure probability stays below a
+target, and reports every scheme's headroom relative to conventional IECC.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.reliability import build_model
+from repro.schemes import default_schemes
+
+TARGETS = (1e-12, 1e-15, 1e-18)
+
+
+def max_tolerable_ber(model, target: float, lo: float = 1e-10, hi: float = 1e-2) -> float:
+    """Largest BER with failure probability <= target (log bisection)."""
+
+    def fail(ber: float) -> float:
+        probs = model.line_probs(ber)
+        return probs["sdc"] + probs["due"]
+
+    if fail(hi) <= target:
+        return hi
+    if fail(lo) > target:
+        return lo
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    for _ in range(60):
+        mid = 10 ** ((log_lo + log_hi) / 2)
+        if fail(mid) <= target:
+            log_lo = math.log10(mid)
+        else:
+            log_hi = math.log10(mid)
+    return 10 ** log_lo
+
+
+@pytest.fixture(scope="module")
+def headroom():
+    schemes = [s for s in default_schemes() if s.name != "no-ecc"]
+    models = {s.name: build_model(s, samples=300, seed=0) for s in schemes}
+    table = {}
+    for target in TARGETS:
+        table[target] = {
+            name: max_tolerable_ber(model, target) for name, model in models.items()
+        }
+    return table
+
+
+def test_f9_tolerable_ber(benchmark, headroom, report):
+    def build():
+        rows = []
+        for target, per_scheme in headroom.items():
+            row = {"failure_target": f"{target:.0e}"}
+            for name, ber in per_scheme.items():
+                row[name] = f"{ber:.2e}"
+            row["pair_vs_iecc"] = f"{per_scheme['pair'] / per_scheme['iecc-sec']:.0f}x"
+            rows.append(row)
+        return rows
+
+    rows = benchmark(build)
+    report(
+        "F9: maximum tolerable weak-cell BER per failure budget "
+        "(scaling headroom)",
+        format_table(rows),
+    )
+    for target in TARGETS:
+        per_scheme = headroom[target]
+        # PAIR extends the tolerable fault rate by orders of magnitude over
+        # the p^2-limited schemes - the 'enables further scaling' story
+        assert per_scheme["pair"] > 50 * per_scheme["iecc-sec"], target
+        assert per_scheme["pair"] > 50 * per_scheme["xed"], target
+        # and the strong schemes land within ~10x of each other
+        ratio = per_scheme["pair"] / per_scheme["duo"]
+        assert 0.1 < ratio < 10, target

@@ -1,0 +1,90 @@
+"""M1 (maintenance) - patrol-scrub bandwidth overhead.
+
+Scrub traffic competes with demand traffic for banks and bus.  This bench
+injects scrub reads (one row sweep per scrub period, spread as extra read
+requests) into the balanced workload at several scrub rates and reports
+the demand-throughput cost - the operational budget a deployment pays for
+the failure-detection latency it wants.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.dram import AddressMapper, DramAddress, RANK_X8_5CHIP
+from repro.perf import TraceConfig, generate_trace, simulate
+from repro.perf.trace import Request
+from repro.schemes import PairScheme
+
+
+def with_scrub_traffic(trace, mapper, scrub_fraction: float, seed: int = 0):
+    """Interleave scrub reads amounting to ``scrub_fraction`` of demand."""
+    import numpy as np
+
+    if scrub_fraction == 0.0:
+        return list(trace)
+    rng = np.random.default_rng([seed, 0x5C2B])
+    out = list(trace)
+    n_scrub = int(len(trace) * scrub_fraction)
+    horizon = trace[-1].arrival
+    row = 0
+    for i in range(n_scrub):
+        arrival = (i + 0.5) * horizon / n_scrub
+        col = (i * 16) % mapper.cols
+        if col == 0:
+            row += 1
+        out.append(
+            Request(
+                arrival=arrival,
+                address=DramAddress(bank=i % mapper.banks, row=row, col=col),
+                is_write=False,
+            )
+        )
+    out.sort(key=lambda r: r.arrival)
+    return out
+
+
+FRACTIONS = [0.0, 0.05, 0.1, 0.2]
+
+
+@pytest.fixture(scope="module")
+def results():
+    mapper = AddressMapper(RANK_X8_5CHIP)
+    base_cfg = TraceConfig(
+        name="balanced-scrub", requests=12000, arrival_rate=0.06,
+        write_fraction=0.3, masked_write_fraction=0.1, row_locality=0.6, seed=2,
+    )
+    demand = generate_trace(base_cfg, mapper)
+    overlay = PairScheme().timing_overlay
+    out = {}
+    for frac in FRACTIONS:
+        trace = with_scrub_traffic(demand, mapper, frac)
+        out[frac] = simulate(trace, overlay, "pair", f"scrub-{frac}")
+    return out
+
+
+def test_m1_scrub_bandwidth_cost(benchmark, results, report):
+    def build():
+        baseline = results[0.0]
+        rows = []
+        for frac, res in results.items():
+            rows.append(
+                {
+                    "scrub_fraction": f"{frac:.0%}",
+                    "total_requests": res.requests,
+                    "read_latency_mean": f"{res.read_latency_mean:.0f}",
+                    "latency_vs_no_scrub": f"{res.read_latency_mean / baseline.read_latency_mean:.3f}",
+                    "bus_busy": f"{res.bus_busy_fraction:.3f}",
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    report("M1: demand-latency cost of patrol-scrub traffic (PAIR)", format_table(rows))
+    latencies = [results[f].read_latency_mean for f in FRACTIONS]
+    # more scrub -> more contention, monotonically
+    assert latencies == sorted(latencies)
+    # a 5% scrub budget keeps mean latency within ~1.5x (scrub reads are
+    # conflict-heavy: they land on cold rows of random banks)...
+    assert latencies[1] < latencies[0] * 1.6
+    # ...while 20% on top of this intensity collapses into queueing
+    assert latencies[-1] > latencies[0] * 5

@@ -1,0 +1,72 @@
+"""T2 - implementation-overhead table plus measured decode throughput.
+
+The static columns (storage, chips, transferred bits, GF-multiplier proxy)
+regenerate the paper's overhead comparison; the pytest benchmarks attach a
+measured software decode cost per scheme codeword for context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.perf import overhead_row
+from repro.schemes import Duo, PairScheme, default_schemes
+
+
+def test_t2_overhead_table(benchmark, report):
+    rows = benchmark(lambda: [overhead_row(s) for s in default_schemes()])
+    report("T2: implementation overheads", format_table(rows))
+    by_name = {r["scheme"]: r for r in rows}
+    assert by_name["pair"]["bits_per_read"] < by_name["duo"]["bits_per_read"]
+    assert by_name["pair"]["chip_overhead_pct"] == 0.0
+
+
+@pytest.fixture(scope="module")
+def pair_word():
+    scheme = PairScheme()
+    rng = np.random.default_rng(0)
+    cw = scheme.code.encode(rng.integers(0, 256, 240))
+    word = cw.copy()
+    for p in rng.choice(256, 4, replace=False):
+        word[p] ^= rng.integers(1, 256)
+    return scheme.code, word
+
+
+def test_t2_pair_decode_throughput(benchmark, pair_word):
+    code, word = pair_word
+    result = benchmark(code.decode, word)
+    assert result.believed_good
+
+
+def test_t2_pair_clean_screen_throughput(benchmark):
+    """The common case: syndrome screen of a clean pin codeword."""
+    scheme = PairScheme()
+    cw = scheme.code.encode(np.zeros(240, dtype=np.int64))
+    result = benchmark(scheme.code.decode, cw)
+    assert result.status.value == "ok"
+
+
+def test_t2_duo_decode_throughput(benchmark):
+    scheme = Duo()
+    rng = np.random.default_rng(1)
+    cw = scheme.code.encode(rng.integers(0, 256, 64))
+    word = cw.copy()
+    for p in rng.choice(76, 3, replace=False):
+        word[p] ^= rng.integers(1, 256)
+    result = benchmark(scheme.code.decode, word)
+    assert result.believed_good
+
+
+def test_t2_pair_incremental_parity_update(benchmark):
+    """The expandability write path: delta re-encode via impulse table."""
+    scheme = PairScheme()
+    impulse = scheme.code.inner.impulse_parities()
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 256, 240)
+
+    def update():
+        products = scheme.field.mul(impulse, data[:, None])
+        return np.bitwise_xor.reduce(products, axis=0)
+
+    parity = benchmark(update)
+    assert parity.shape == (15,)

@@ -1,0 +1,27 @@
+"""T3 - per-access energy table.
+
+First-order energy comparison (constants documented in
+:mod:`repro.perf.energy` [R]): DUO pays extra chips plus the extended-burst
+transfer on every access and a full extra read on masked writes; XED pays
+the parity chip and RMW array cycling; PAIR trades a slice of decoder logic
+energy for zero extra transfer and RMW-free writes.
+"""
+
+from repro.analysis import format_table
+from repro.perf import energy_row
+from repro.schemes import default_schemes
+
+
+def test_t3_energy_table(benchmark, report):
+    rows = benchmark(lambda: [energy_row(s) for s in default_schemes()])
+    report("T3: energy per 64B access (nJ, first-order model)", format_table(rows))
+    by_name = {r["scheme"]: r for r in rows}
+    # reads: PAIR moves no extra bits -> cheaper than both chip-overhead schemes
+    assert by_name["pair"]["read_nj"] < by_name["xed"]["read_nj"]
+    assert by_name["pair"]["read_nj"] < by_name["duo"]["read_nj"]
+    # masked writes: DUO's controller RMW is the most expensive path
+    assert by_name["duo"]["masked_write_nj"] == max(
+        r["masked_write_nj"] for r in rows
+    )
+    # PAIR masked writes cost the same as its plain writes (no RMW)
+    assert by_name["pair"]["masked_write_nj"] == by_name["pair"]["write_nj"]

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints the rows/series of the corresponding paper table or
+figure (see DESIGN.md section 5) in addition to timing its core computation
+with pytest-benchmark.  Output is emitted outside pytest's capture so that
+``pytest benchmarks/ --benchmark-only`` shows the reproduced data inline.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a titled block outside pytest capture."""
+
+    def emit(title: str, body: str) -> None:
+        with capsys.disabled():
+            print()
+            print("=" * 72)
+            print(f"  {title}")
+            print("=" * 72)
+            print(body)
+
+    return emit

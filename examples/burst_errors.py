@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Burst errors: why codeword orientation matters.
+
+Demonstrates the paper's core geometric argument with the functional model:
+the *same* extended RS(256,240) code survives arbitrarily long per-pin
+bursts when its symbols run along the pin (PAIR), and dies past t symbols
+when they run across beats (the conventional orientation).
+"""
+
+import numpy as np
+
+from repro import PairScheme
+from repro.faults import TransferBurst
+
+
+def survival(scheme, burst_beats: int, trials: int = 10) -> float:
+    survived = 0
+    for trial in range(trials):
+        rng = np.random.default_rng(trial)
+        chips = scheme.make_devices()
+        data = rng.integers(0, 2, scheme.line_shape, dtype=np.uint8)
+        scheme.write_line(chips, 0, 0, 0, data)
+        burst = TransferBurst(
+            pin=int(rng.integers(8)),
+            beat_start=int(rng.integers(16 - burst_beats + 1)),
+            length=burst_beats,
+        )
+        result = scheme.read_line(chips, 0, 0, 0, bursts={0: burst})
+        if result.believed_good and np.array_equal(result.data, data):
+            survived += 1
+    return survived / trials
+
+
+def main() -> None:
+    pin = PairScheme(orientation="pin")
+    beat = PairScheme(orientation="beat")
+    print("fraction of reads surviving a write-path burst on one pin:")
+    print(f"{'beats':>6} | {'pin-aligned (PAIR)':>20} | {'beat-aligned':>14}")
+    for beats in (1, 2, 4, 8, 12, 16):
+        print(
+            f"{beats:6d} | {survival(pin, beats):20.2f} | {survival(beat, beats):14.2f}"
+        )
+    print("\npin-aligned: a burst of any length is <= 2 byte symbols of one")
+    print("codeword; beat-aligned: every corrupted beat is its own symbol, so")
+    print("bursts past t = 8 beats overwhelm the identical code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Performance study: trace-driven simulation of every scheme.
+
+A compact version of experiment F5: generates the six synthetic workloads,
+runs the bank-level timing simulator under each scheme's timing overlay, and
+prints normalized throughput plus the geometric-mean summary.
+"""
+
+from repro.analysis import format_table, geomean
+from repro.dram import AddressMapper, RANK_X8_5CHIP
+from repro.perf import WORKLOADS, generate_trace, simulate
+from repro.schemes import default_schemes
+
+
+def main() -> None:
+    mapper = AddressMapper(RANK_X8_5CHIP)
+    schemes = default_schemes()
+    results = {}
+    for wname, wcfg in WORKLOADS.items():
+        print(f"simulating {wname} ({wcfg.requests} requests)...")
+        trace = generate_trace(wcfg, mapper)
+        results[wname] = {
+            s.name: simulate(trace, s.timing_overlay, s.name, wname)
+            for s in schemes
+        }
+
+    rows = []
+    for wname, per_scheme in results.items():
+        pair = per_scheme["pair"].throughput
+        rows.append(
+            {"workload": wname}
+            | {name: f"{res.throughput / pair:.3f}" for name, res in per_scheme.items()}
+        )
+    print()
+    print(format_table(rows))
+
+    print("\ngeometric means (normalized to PAIR):")
+    for s in schemes:
+        gm = geomean(
+            results[w][s.name].throughput / results[w]["pair"].throughput
+            for w in results
+        )
+        print(f"  {s.name:10s} {gm:.3f}   (PAIR is {1 / gm - 1:+.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""PAIR: Pin-aligned In-DRAM ECC using the expandability of Reed-Solomon codes.
+
+Reproduction of Jeong, Kang & Yang, DAC 2020 (see DESIGN.md for the
+reconstruction notes).  The public API re-exports the pieces a downstream
+user needs:
+
+* codes: :class:`~repro.codes.ReedSolomonCode`,
+  :class:`~repro.codes.SinglyExtendedRS`, :class:`~repro.codes.HammingSEC` ...
+* DRAM substrate: :mod:`repro.dram` (device geometry, functional model,
+  timing);
+* fault model: :mod:`repro.faults`;
+* ECC schemes: :class:`~repro.schemes.PairScheme` plus the XED / DUO /
+  conventional-IECC baselines;
+* engines: :mod:`repro.reliability` (exact Monte Carlo + semi-analytic) and
+  :mod:`repro.perf` (trace-driven timing simulation).
+
+Quickstart::
+
+    from repro import PairScheme
+    import numpy as np
+
+    pair = PairScheme()
+    chips = pair.make_devices()
+    data = np.random.default_rng(0).integers(0, 2, pair.line_shape, dtype=np.uint8)
+    pair.write_line(chips, bank=0, row=0, col=0, data=data)
+    result = pair.read_line(chips, bank=0, row=0, col=0)
+    assert result.believed_good
+"""
+
+from . import analysis, codes, dram, faults, galois, maintenance, perf, reliability, schemes
+from .codes import DecodeStatus, HammingSEC, ReedSolomonCode, SinglyExtendedRS
+from .dram import DDR5_X4, DDR5_X8, DDR5_X16, DeviceConfig, DramDevice, RankConfig
+from .faults import FaultRates, FaultType
+from .reliability import Outcome, build_model, classify, run_iid
+from .maintenance import MaintenanceController, Scrubber, SpareManager
+from .schemes import (
+    ConventionalIecc,
+    DefectMap,
+    Duo,
+    EccScheme,
+    LineReadResult,
+    NoEcc,
+    PairErasureScheme,
+    PairScheme,
+    RankSecDed,
+    Xed,
+    default_schemes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "galois",
+    "codes",
+    "dram",
+    "faults",
+    "schemes",
+    "reliability",
+    "perf",
+    "analysis",
+    "maintenance",
+    "ReedSolomonCode",
+    "SinglyExtendedRS",
+    "HammingSEC",
+    "DecodeStatus",
+    "DeviceConfig",
+    "RankConfig",
+    "DramDevice",
+    "DDR5_X4",
+    "DDR5_X8",
+    "DDR5_X16",
+    "FaultRates",
+    "FaultType",
+    "EccScheme",
+    "LineReadResult",
+    "NoEcc",
+    "ConventionalIecc",
+    "Xed",
+    "Duo",
+    "PairScheme",
+    "PairErasureScheme",
+    "DefectMap",
+    "RankSecDed",
+    "MaintenanceController",
+    "Scrubber",
+    "SpareManager",
+    "default_schemes",
+    "Outcome",
+    "classify",
+    "run_iid",
+    "build_model",
+]

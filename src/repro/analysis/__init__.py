@@ -1,0 +1,19 @@
+"""Analysis helpers: sweeps and table/series formatting."""
+
+from .report import ReportConfig, generate_report, write_report
+from .sweep import apply_grid, geomean, log_space, normalize_to, reliability_sweep
+from .tables import banner, format_series, format_table
+
+__all__ = [
+    "log_space",
+    "reliability_sweep",
+    "geomean",
+    "normalize_to",
+    "apply_grid",
+    "format_table",
+    "format_series",
+    "banner",
+    "ReportConfig",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,66 @@
+"""Parameter-sweep drivers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..reliability.analytic import build_model
+from ..schemes.base import EccScheme
+
+
+def log_space(start: float, stop: float, points: int) -> np.ndarray:
+    """Logarithmically spaced sweep values, inclusive of both ends."""
+    return np.logspace(math.log10(start), math.log10(stop), points)
+
+
+def reliability_sweep(
+    schemes: Sequence[EccScheme],
+    bers: Iterable[float],
+    samples: int = 1500,
+    seed: int = 0,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Failure-probability curves per scheme over a BER sweep (figure F2)."""
+    bers = np.asarray(list(bers), dtype=float)
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for scheme in schemes:
+        model = build_model(scheme, samples=samples, seed=seed)
+        out[scheme.name] = model.sweep(bers)
+        out[scheme.name]["fail"] = out[scheme.name]["sdc"] + out[scheme.name]["due"]
+    return out
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values or any(v <= 0 for v in values):
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to(
+    results: dict[str, dict[str, float]], reference: str
+) -> dict[str, dict[str, float]]:
+    """Normalize per-workload metrics to a reference scheme (figure F5)."""
+    out: dict[str, dict[str, float]] = {}
+    for workload, per_scheme in results.items():
+        ref = per_scheme[reference]
+        out[workload] = {name: value / ref for name, value in per_scheme.items()}
+    return out
+
+
+def apply_grid(fn: Callable[..., object], **axes: Sequence[object]) -> list[dict]:
+    """Evaluate ``fn`` over the cartesian grid of keyword axes."""
+    names = list(axes)
+    results = []
+
+    def rec(i: int, bound: dict) -> None:
+        if i == len(names):
+            results.append({**bound, "value": fn(**bound)})
+            return
+        for value in axes[names[i]]:
+            rec(i + 1, {**bound, names[i]: value})
+
+    rec(0, {})
+    return results

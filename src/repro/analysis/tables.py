@@ -1,0 +1,65 @@
+"""Plain-text table and series formatting shared by benches and examples.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_table(rows: Iterable[Mapping[str, object]], columns: list[str] | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    columns = columns or list(rows[0].keys())
+    rendered = [[_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or 0 < abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    xs: Iterable[object],
+    series: Mapping[str, Iterable[object]],
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    xs = list(xs)
+    names = list(series)
+    cols = {name: list(values) for name, values in series.items()}
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for name in names:
+            row[name] = cols[name][i]
+        rows.append(row)
+    return format_table(rows, [x_label] + names)
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(60, len(title) + 4)
+    return f"{bar}\n  {title}\n{bar}"

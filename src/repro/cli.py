@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands expose the library's engines without writing any code:
+
+* ``info``                    - scheme/code configuration table (T1);
+* ``reliability``             - analytic failure-probability sweep (F2);
+* ``perf``                    - trace-driven performance comparison (F5);
+* ``burst``                   - burst-error coverage (F4);
+* ``energy``                  - per-access energy table (T3);
+* ``headroom``                - max tolerable weak-cell BER per budget (F9);
+* ``report``                  - regenerate the full markdown report.
+
+Examples::
+
+    python -m repro info
+    python -m repro reliability --bers 1e-6 1e-5 1e-4
+    python -m repro perf --workloads balanced write-heavy
+    python -m repro burst --lengths 4 8 16 --trials 10
+    python -m repro energy
+    python -m repro headroom --targets 1e-15
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .analysis import format_series, format_table, geomean
+from .dram import AddressMapper, RANK_X8_5CHIP
+from .perf import WORKLOADS, generate_trace, simulate
+from .reliability import ExactRunConfig, build_model, run_burst_lengths
+from .schemes import default_schemes
+
+
+def _scheme_lineup(names: Sequence[str] | None):
+    schemes = default_schemes()
+    if not names:
+        return schemes
+    by_name = {s.name: s for s in schemes}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise SystemExit(f"unknown scheme(s) {unknown}; have {sorted(by_name)}")
+    return [by_name[n] for n in names]
+
+
+def cmd_info(args: argparse.Namespace) -> None:
+    rows = [s.description() for s in _scheme_lineup(args.schemes)]
+    print(format_table(rows))
+
+
+def cmd_reliability(args: argparse.Namespace) -> None:
+    schemes = _scheme_lineup(args.schemes)
+    models = {s.name: build_model(s, samples=args.samples) for s in schemes}
+    series = {}
+    for name, model in models.items():
+        series[name] = [
+            f"{sum(model.line_probs(b).values()):.2e}" for b in args.bers
+        ]
+    print("failure probability (SDC + DUE) per 64B read:")
+    print(format_series("ber", [f"{b:.0e}" for b in args.bers], series))
+
+
+def cmd_perf(args: argparse.Namespace) -> None:
+    schemes = _scheme_lineup(args.schemes)
+    workloads = args.workloads or list(WORKLOADS)
+    unknown = [w for w in workloads if w not in WORKLOADS]
+    if unknown:
+        raise SystemExit(f"unknown workload(s) {unknown}; have {sorted(WORKLOADS)}")
+    mapper = AddressMapper(RANK_X8_5CHIP)
+    rows = []
+    through = {s.name: [] for s in schemes}
+    for wname in workloads:
+        trace = generate_trace(WORKLOADS[wname], mapper)
+        row = {"workload": wname}
+        for s in schemes:
+            res = simulate(trace, s.timing_overlay, s.name, wname)
+            row[s.name] = f"{res.throughput:.2f}"
+            through[s.name].append(res.throughput)
+        rows.append(row)
+    print("throughput in requests per kilocycle:")
+    print(format_table(rows))
+    if len(workloads) > 1:
+        print("\ngeomean throughput:")
+        for name, values in through.items():
+            print(f"  {name:10s} {geomean(values):8.2f}")
+
+
+def cmd_burst(args: argparse.Namespace) -> None:
+    schemes = _scheme_lineup(args.schemes)
+    config = ExactRunConfig(trials=args.trials, seed=args.seed)
+    series = {}
+    for s in schemes:
+        tallies = run_burst_lengths(s, args.lengths, config)
+        series[s.name] = [
+            f"{(tallies[b].ok + tallies[b].ce) / tallies[b].total:.2f}"
+            for b in args.lengths
+        ]
+    print(f"fraction of reads surviving a per-pin burst ({args.trials} trials):")
+    print(format_series("beats", args.lengths, series))
+
+
+def cmd_energy(args: argparse.Namespace) -> None:
+    from .perf import energy_row
+
+    rows = [energy_row(s) for s in _scheme_lineup(args.schemes)]
+    print("energy per 64B access (nJ, first-order model):")
+    print(format_table(rows))
+
+
+def cmd_headroom(args: argparse.Namespace) -> None:
+    import math
+
+    schemes = [s for s in _scheme_lineup(args.schemes) if s.name != "no-ecc"]
+    models = {s.name: build_model(s, samples=args.samples) for s in schemes}
+    rows = []
+    for target in args.targets:
+        row = {"failure_target": f"{target:.0e}"}
+        for name, model in models.items():
+            lo, hi = math.log10(1e-10), math.log10(1e-2)
+            for _ in range(50):
+                mid = 10 ** ((lo + hi) / 2)
+                probs = model.line_probs(mid)
+                if probs["sdc"] + probs["due"] <= target:
+                    lo = math.log10(mid)
+                else:
+                    hi = math.log10(mid)
+            row[name] = f"{10 ** lo:.2e}"
+        rows.append(row)
+    print("maximum tolerable weak-cell BER per failure budget:")
+    print(format_table(rows))
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from .analysis.report import ReportConfig, write_report
+
+    path = write_report(args.output, ReportConfig(quick=not args.full))
+    print(f"report written to {path}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAIR (DAC 2020) reproduction - in-DRAM ECC evaluation tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_schemes(p):
+        p.add_argument(
+            "--schemes", nargs="*", metavar="NAME",
+            help="subset of: no-ecc iecc-sec xed duo pair (default: all)",
+        )
+
+    p_info = sub.add_parser("info", help="scheme configuration table (T1)")
+    add_schemes(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_rel = sub.add_parser("reliability", help="analytic reliability sweep (F2)")
+    add_schemes(p_rel)
+    p_rel.add_argument("--bers", nargs="+", type=float,
+                       default=[1e-6, 1e-5, 1e-4], metavar="P")
+    p_rel.add_argument("--samples", type=int, default=400,
+                       help="decoder-conditional measurement samples")
+    p_rel.set_defaults(func=cmd_reliability)
+
+    p_perf = sub.add_parser("perf", help="trace-driven performance (F5)")
+    add_schemes(p_perf)
+    p_perf.add_argument("--workloads", nargs="*", metavar="NAME",
+                        help=f"subset of: {' '.join(sorted(WORKLOADS))}")
+    p_perf.set_defaults(func=cmd_perf)
+
+    p_burst = sub.add_parser("burst", help="burst-error coverage (F4)")
+    add_schemes(p_burst)
+    p_burst.add_argument("--lengths", nargs="+", type=int,
+                         default=[2, 4, 8, 16], metavar="BEATS")
+    p_burst.add_argument("--trials", type=int, default=10)
+    p_burst.add_argument("--seed", type=int, default=0)
+    p_burst.set_defaults(func=cmd_burst)
+
+    p_energy = sub.add_parser("energy", help="per-access energy table (T3)")
+    add_schemes(p_energy)
+    p_energy.set_defaults(func=cmd_energy)
+
+    p_head = sub.add_parser("headroom", help="tolerable-BER table (F9)")
+    add_schemes(p_head)
+    p_head.add_argument("--targets", nargs="+", type=float,
+                        default=[1e-12, 1e-15], metavar="P")
+    p_head.add_argument("--samples", type=int, default=300)
+    p_head.set_defaults(func=cmd_headroom)
+
+    p_report = sub.add_parser("report", help="regenerate the markdown report")
+    p_report.add_argument("-o", "--output", default="report.md")
+    p_report.add_argument("--full", action="store_true",
+                          help="bench-grade sample counts (slow)")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

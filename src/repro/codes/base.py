@@ -1,0 +1,100 @@
+"""Common interfaces for the block codes used by the ECC schemes.
+
+Every code in :mod:`repro.codes` encodes a fixed-length message into a
+fixed-length codeword and decodes a (possibly corrupted) word into a
+:class:`DecodeResult`.  Schemes in :mod:`repro.schemes` compose these codes
+into full read/write datapaths.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class DecodeStatus(Enum):
+    """Outcome of a bounded-distance decode attempt."""
+
+    OK = "ok"  # word was already a codeword
+    CORRECTED = "corrected"  # errors found and corrected
+    DETECTED = "detected"  # uncorrectable, flagged
+    FAILED = "failed"  # decoder gave up without a verdict (treated as detected)
+
+
+@dataclass
+class DecodeResult:
+    """Result of decoding one word.
+
+    Attributes
+    ----------
+    status:
+        What the decoder *believes* happened.  Whether a ``CORRECTED`` result
+        is actually correct (vs a miscorrection) is judged by the caller, who
+        knows the transmitted word.
+    data:
+        The decoded message symbols/bits (best effort even on detection).
+    corrected_positions:
+        Codeword positions the decoder modified.
+    corrections:
+        Number of symbol/bit corrections applied.
+    codeword:
+        The full corrected codeword when the decoder believes it recovered
+        one (None on detection) - schemes scatter this back into storage
+        layouts.
+    """
+
+    status: DecodeStatus
+    data: np.ndarray
+    corrected_positions: tuple[int, ...] = field(default_factory=tuple)
+    codeword: np.ndarray | None = None
+
+    @property
+    def corrections(self) -> int:
+        return len(self.corrected_positions)
+
+    @property
+    def believed_good(self) -> bool:
+        """True when the decoder claims the data is now correct."""
+        return self.status in (DecodeStatus.OK, DecodeStatus.CORRECTED)
+
+
+class BlockCode(abc.ABC):
+    """An (n, k) block code over bits or GF(2^m) symbols."""
+
+    #: codeword length in symbols (bits for binary codes)
+    n: int
+    #: message length in symbols (bits for binary codes)
+    k: int
+
+    @property
+    def r(self) -> int:
+        """Number of redundancy symbols."""
+        return self.n - self.k
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    @property
+    def overhead(self) -> float:
+        """Storage overhead of the redundancy relative to the data."""
+        return self.r / self.k
+
+    @abc.abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` message symbols into an ``n``-symbol codeword."""
+
+    @abc.abstractmethod
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Decode a received ``n``-symbol word."""
+
+    def is_codeword(self, word: np.ndarray) -> bool:
+        """Whether ``word`` is a valid codeword (default: re-encode check)."""
+        word = np.asarray(word)
+        return bool(np.array_equal(self.encode(word[: self.k]), word))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, k={self.k})"

@@ -1,0 +1,84 @@
+"""Cyclic redundancy checks (the DDR5 write-CRC link substrate).
+
+DDR5 protects write transfers with a per-burst CRC: the controller appends
+check bits, the DRAM verifies them before committing the write and requests
+a retry on mismatch.  This is the *incumbent* burst-error mechanism PAIR's
+burst-correction claim is measured against (experiment A3): CRC can only
+detect-and-retry, paying a bus round trip per event, while PAIR corrects
+in place on read.
+
+Bit-serial LFSR implementation, explicit and table-free: link CRC widths
+are small and the reliability benches need exactness, not throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CrcCode:
+    """A CRC over bit arrays, MSB-first convention.
+
+    Parameters
+    ----------
+    width:
+        Number of check bits.
+    polynomial:
+        Generator polynomial *without* the leading x^width term
+        (e.g. ``0x07`` for the CRC-8 x^8+x^2+x+1).
+    name:
+        Label for tables.
+    """
+
+    def __init__(self, width: int, polynomial: int, name: str = "crc"):
+        if not 1 <= width <= 32:
+            raise ValueError("CRC width must be in [1, 32]")
+        if polynomial >> width:
+            raise ValueError("polynomial has terms beyond the CRC width")
+        self.width = width
+        self.polynomial = polynomial
+        self.name = name
+
+    def compute(self, bits: np.ndarray) -> int:
+        """CRC register value after shifting all data bits through."""
+        bits = np.asarray(bits).astype(np.uint8) & 1
+        reg = 0
+        top = 1 << (self.width - 1)
+        for bit in bits:
+            feedback = ((reg & top) != 0) ^ bool(bit)
+            reg = (reg << 1) & ((1 << self.width) - 1)
+            if feedback:
+                reg ^= self.polynomial
+        return reg
+
+    def append(self, bits: np.ndarray) -> np.ndarray:
+        """Data bits followed by their CRC (MSB first)."""
+        crc = self.compute(bits)
+        check = [(crc >> (self.width - 1 - i)) & 1 for i in range(self.width)]
+        return np.concatenate([np.asarray(bits, dtype=np.uint8), check])
+
+    def check(self, frame: np.ndarray) -> bool:
+        """Validate a data+CRC frame produced by :meth:`append`."""
+        frame = np.asarray(frame)
+        data, check = frame[: -self.width], frame[-self.width :]
+        crc = self.compute(data)
+        expected = [(crc >> (self.width - 1 - i)) & 1 for i in range(self.width)]
+        return bool(np.array_equal(check, expected))
+
+    def detects_burst(self, length: int) -> bool:
+        """Guaranteed detection of a single contiguous error burst.
+
+        Any burst no longer than the CRC width is guaranteed detected
+        (standard CRC property for polynomials with a nonzero x^0 term).
+        """
+        return length <= self.width and (self.polynomial & 1) == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CrcCode({self.name}, width={self.width}, poly={self.polynomial:#x})"
+
+
+#: The DDR5 write-CRC polynomial (ATM-8 / x^8 + x^2 + x + 1).
+CRC8_DDR5 = CrcCode(8, 0x07, name="crc8-ddr5")
+
+#: CCITT 16-bit CRC, the usual stronger link option.
+CRC16_CCITT = CrcCode(16, 0x1021, name="crc16-ccitt")

@@ -1,0 +1,167 @@
+"""Binary Hamming-family codes used by the baseline IECC schemes.
+
+* :class:`HammingSEC` - shortened Hamming single-error-correcting code; the
+  DDR5-style on-die (136, 128) code is ``HammingSEC(136, 128)``.
+* :class:`HsiaoSECDED` - odd-weight-column single-error-correcting,
+  double-error-detecting code; the classic rank-level (72, 64) code.
+
+Both are defined by an explicit parity-check matrix so that tests can verify
+distance properties, and both report *detected* rather than silently wrapping
+when a syndrome falls outside the used column set (which happens for
+shortened codes and is exactly the effect XED exploits).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..galois import linalg2
+from .base import BlockCode, DecodeResult, DecodeStatus
+
+
+class HammingSEC(BlockCode):
+    """Shortened Hamming single-error-correcting code.
+
+    Columns of the parity-check matrix are distinct nonzero ``r``-bit values;
+    data columns use multi-weight values (so the code is systematic) and
+    parity columns use unit vectors.  Codeword layout is data bits followed by
+    parity bits.
+    """
+
+    def __init__(self, n: int, k: int):
+        r = n - k
+        if n > (1 << r) - 1:
+            raise ValueError(f"({n},{k}) exceeds Hamming bound: n <= 2^r - 1")
+        self.n = n
+        self.k = k
+        data_columns = []
+        for value in range(3, 1 << r):
+            if value & (value - 1):  # weight >= 2: not a parity unit column
+                data_columns.append(value)
+            if len(data_columns) == k:
+                break
+        if len(data_columns) < k:
+            raise ValueError(f"cannot build ({n},{k}) Hamming code")
+        parity_columns = [1 << j for j in range(r)]
+        self._columns = data_columns + parity_columns
+        h = np.zeros((r, n), dtype=np.uint8)
+        for idx, value in enumerate(self._columns):
+            for j in range(r):
+                h[j, idx] = (value >> j) & 1
+        self.H = h
+        self._column_to_position = {value: idx for idx, value in enumerate(self._columns)}
+
+    @property
+    def d_min(self) -> int:
+        return 3
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint8) & 1
+        if data.shape != (self.k,):
+            raise ValueError(f"expected {self.k} data bits, got {data.shape}")
+        parity = linalg2.matvec(self.H[:, : self.k], data)
+        return np.concatenate([data, parity])
+
+    def syndrome(self, received: np.ndarray) -> int:
+        bits = linalg2.matvec(self.H, np.asarray(received, dtype=np.uint8) & 1)
+        return sum(int(b) << j for j, b in enumerate(bits))
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        received = np.asarray(received, dtype=np.uint8) & 1
+        if received.shape != (self.n,):
+            raise ValueError(f"expected {self.n} bits, got {received.shape}")
+        syndrome = self.syndrome(received)
+        if syndrome == 0:
+            return DecodeResult(DecodeStatus.OK, received[: self.k].copy())
+        position = self._column_to_position.get(syndrome)
+        if position is None:
+            # Shortened code: this syndrome belongs to no bit -> detectable.
+            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
+        corrected = received.copy()
+        corrected[position] ^= 1
+        return DecodeResult(
+            DecodeStatus.CORRECTED, corrected[: self.k].copy(), (position,)
+        )
+
+    def miscorrection_fraction(self) -> float:
+        """Fraction of *double*-bit errors that silently miscorrect.
+
+        A double error produces the XOR of two columns; it miscorrects when
+        that value is itself a used column.  Computed exactly by enumeration.
+        """
+        columns = self._columns
+        used = set(columns)
+        total = 0
+        bad = 0
+        for a, b in itertools.combinations(columns, 2):
+            total += 1
+            if (a ^ b) in used:
+                bad += 1
+        return bad / total
+
+
+class HsiaoSECDED(BlockCode):
+    """Hsiao odd-weight-column SEC-DED code, e.g. the rank-level (72, 64).
+
+    All parity-check columns have odd weight, so every double error has an
+    even-weight (hence non-column) syndrome and is always detected.
+    """
+
+    def __init__(self, n: int, k: int):
+        r = n - k
+        odd_columns: list[int] = []
+        # Prefer low weights (fewer XOR gates), the classic Hsiao heuristic.
+        for weight in range(1, r + 1, 2):
+            for ones in itertools.combinations(range(r), weight):
+                odd_columns.append(sum(1 << j for j in ones))
+        if len(odd_columns) < n:
+            raise ValueError(f"cannot build ({n},{k}) Hsiao code")
+        parity_columns = [1 << j for j in range(r)]
+        data_columns = [c for c in odd_columns if c not in set(parity_columns)][:k]
+        if len(data_columns) < k:
+            raise ValueError(f"cannot build ({n},{k}) Hsiao code")
+        self.n = n
+        self.k = k
+        self._columns = data_columns + parity_columns
+        h = np.zeros((r, n), dtype=np.uint8)
+        for idx, value in enumerate(self._columns):
+            for j in range(r):
+                h[j, idx] = (value >> j) & 1
+        self.H = h
+        self._column_to_position = {value: idx for idx, value in enumerate(self._columns)}
+
+    @property
+    def d_min(self) -> int:
+        return 4
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint8) & 1
+        if data.shape != (self.k,):
+            raise ValueError(f"expected {self.k} data bits, got {data.shape}")
+        parity = linalg2.matvec(self.H[:, : self.k], data)
+        return np.concatenate([data, parity])
+
+    def syndrome(self, received: np.ndarray) -> int:
+        bits = linalg2.matvec(self.H, np.asarray(received, dtype=np.uint8) & 1)
+        return sum(int(b) << j for j, b in enumerate(bits))
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        received = np.asarray(received, dtype=np.uint8) & 1
+        if received.shape != (self.n,):
+            raise ValueError(f"expected {self.n} bits, got {received.shape}")
+        syndrome = self.syndrome(received)
+        if syndrome == 0:
+            return DecodeResult(DecodeStatus.OK, received[: self.k].copy())
+        if bin(syndrome).count("1") % 2 == 0:
+            # Even-weight syndrome: double (or other even) error -> detected.
+            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
+        position = self._column_to_position.get(syndrome)
+        if position is None:
+            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
+        corrected = received.copy()
+        corrected[position] ^= 1
+        return DecodeResult(
+            DecodeStatus.CORRECTED, corrected[: self.k].copy(), (position,)
+        )

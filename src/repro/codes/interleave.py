@@ -1,0 +1,74 @@
+"""Bit/symbol interleaving helpers.
+
+The mapping between DRAM geometry and codeword symbols is what PAIR is about;
+these helpers express the two orientations compared in the alignment
+ablation (experiment F8):
+
+* **pin-aligned**: consecutive codeword symbols come from consecutive bits on
+  *one* DQ pin (PAIR's layout) - a burst on a pin touches few symbols;
+* **beat-aligned**: consecutive codeword symbols sweep *across* pins beat by
+  beat (the conventional layout) - a burst on a pin smears across symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def block_interleave(data: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Write row-major, read column-major (classic block interleaver)."""
+    data = np.asarray(data)
+    if data.size != rows * cols:
+        raise ValueError(f"size {data.size} != {rows}x{cols}")
+    return data.reshape(rows, cols).T.reshape(-1)
+
+
+def block_deinterleave(data: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Inverse of :func:`block_interleave` with the same (rows, cols)."""
+    data = np.asarray(data)
+    if data.size != rows * cols:
+        raise ValueError(f"size {data.size} != {rows}x{cols}")
+    return data.reshape(cols, rows).T.reshape(-1)
+
+
+def pin_aligned_symbols(bits: np.ndarray, pins: int, symbol_bits: int) -> np.ndarray:
+    """Group a transfer bit matrix into pin-aligned symbols.
+
+    ``bits`` has shape ``(pins, beats)``: ``bits[p, b]`` is the bit on pin
+    ``p`` at beat ``b``.  Returns shape ``(pins, beats // symbol_bits)`` of
+    symbol values: each symbol packs ``symbol_bits`` consecutive *beats of one
+    pin* (LSB = earliest beat).
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.shape[0] != pins or bits.shape[1] % symbol_bits:
+        raise ValueError(f"bad shape {bits.shape} for pins={pins}, sb={symbol_bits}")
+    grouped = bits.reshape(pins, -1, symbol_bits)
+    shifts = np.arange(symbol_bits, dtype=np.int64)
+    return (grouped << shifts).sum(axis=-1)
+
+
+def beat_aligned_symbols(bits: np.ndarray, pins: int, symbol_bits: int) -> np.ndarray:
+    """Group a transfer bit matrix into beat-aligned (conventional) symbols.
+
+    Symbols pack ``symbol_bits`` bits taken *across pins within one beat*
+    (then continuing into the next beat).  Returns a flat symbol array.
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.shape[0] != pins:
+        raise ValueError(f"bad shape {bits.shape} for pins={pins}")
+    flat = bits.T.reshape(-1)  # beat-major ordering
+    if flat.size % symbol_bits:
+        raise ValueError("bit count not divisible by symbol size")
+    grouped = flat.reshape(-1, symbol_bits)
+    shifts = np.arange(symbol_bits, dtype=np.int64)
+    return (grouped << shifts).sum(axis=-1)
+
+
+def symbols_to_pin_bits(symbols: np.ndarray, pins: int, symbol_bits: int) -> np.ndarray:
+    """Inverse of :func:`pin_aligned_symbols`: back to a (pins, beats) matrix."""
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if symbols.shape[0] != pins:
+        raise ValueError(f"expected leading pin axis of {pins}")
+    shifts = np.arange(symbol_bits, dtype=np.int64)
+    bits = (symbols[..., None] >> shifts) & 1
+    return bits.reshape(pins, -1)

@@ -1,0 +1,45 @@
+"""Parity codes for rank-level RAID-style protection (the XED substrate).
+
+:class:`XorParity` models the RAID-3/4 arrangement XED relies on: one parity
+chip stores the XOR of the data chips' bursts, and a chip whose on-die ECC
+*flags* an error can be reconstructed from the surviving chips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class XorParity:
+    """Bytewise XOR parity across ``width`` lanes (chips).
+
+    Lanes are rows of a 2-D array ``(width, symbols)``; the parity lane is
+    the XOR reduction over the lane axis.
+    """
+
+    def __init__(self, width: int):
+        if width < 2:
+            raise ValueError("parity needs at least two data lanes")
+        self.width = width
+
+    def parity(self, lanes: np.ndarray) -> np.ndarray:
+        lanes = np.asarray(lanes)
+        if lanes.shape[0] != self.width:
+            raise ValueError(f"expected {self.width} lanes, got {lanes.shape[0]}")
+        return np.bitwise_xor.reduce(lanes, axis=0)
+
+    def reconstruct(
+        self, lanes: np.ndarray, parity: np.ndarray, missing: int
+    ) -> np.ndarray:
+        """Rebuild the ``missing`` lane from the others plus parity."""
+        lanes = np.asarray(lanes)
+        if not 0 <= missing < self.width:
+            raise ValueError(f"missing lane {missing} out of range")
+        others = np.bitwise_xor.reduce(
+            np.delete(lanes, missing, axis=0), axis=0
+        )
+        return others ^ np.asarray(parity)
+
+    def check(self, lanes: np.ndarray, parity: np.ndarray) -> bool:
+        """Whether parity is consistent with the lanes."""
+        return bool(np.array_equal(self.parity(lanes), np.asarray(parity)))

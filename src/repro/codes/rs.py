@@ -1,0 +1,457 @@
+"""Reed-Solomon codes: systematic codec with errors-and-erasures decoding.
+
+This is the coding core of the PAIR architecture.  Three variants are
+provided, all sharing one solver:
+
+* :class:`ReedSolomonCode` - classic (possibly shortened) RS over GF(2^m),
+  BCH view, generator roots ``alpha^fcr .. alpha^(fcr+r-1)``;
+* :class:`SinglyExtendedRS` - length extended by one symbol (the overall
+  evaluation at ``alpha^0``), raising the minimum distance by one at the same
+  redundancy.  This is the "expandability" the PAIR paper's title refers to:
+  the same mother decoder serves shortened, full-length and extended
+  codewords (see :meth:`SinglyExtendedRS.shortened`);
+* erasure support throughout - a scheme that has profiled a faulty pin line
+  or received a chip-failure hint can mark symbols as erasures and correct
+  ``f`` erasures plus ``v`` errors whenever ``2v + f <= r``.
+
+Decoding pipeline: syndromes -> (erasure locator, modified syndromes) ->
+Sugiyama extended-Euclid key-equation solver -> Chien search -> Forney
+magnitudes -> verification re-check.  Decoding is bounded-distance: words
+beyond half the design distance are usually *detected* but can miscorrect
+with the (physically real) probability that the reliability analysis cares
+about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..galois import poly
+from ..galois.gf2m import GF2m
+from .base import BlockCode, DecodeResult, DecodeStatus
+
+
+class RSDecodeFailure(Exception):
+    """Internal signal: the key-equation solver could not produce a locator."""
+
+
+def _solve_key_equation(
+    field: GF2m,
+    syndromes: np.ndarray,
+    erasure_coeffs: tuple[int, ...],
+    fcr: int,
+    n: int,
+) -> list[tuple[int, int]]:
+    """Solve for error locations/magnitudes from syndromes.
+
+    Parameters
+    ----------
+    field:
+        Symbol field.
+    syndromes:
+        ``S_j = E(alpha^(fcr+j))`` for ``j = 0..r-1`` where ``E`` is the error
+        polynomial with coefficient index = codeword coefficient index.
+    erasure_coeffs:
+        Coefficient indices (0-based powers of x) known to be unreliable.
+    fcr:
+        First consecutive root exponent.
+    n:
+        Codeword length in symbols (coefficient indices run ``0..n-1``).
+
+    Returns
+    -------
+    list of ``(coeff_index, magnitude)`` pairs.  Empty when the word is clean.
+
+    Raises
+    ------
+    RSDecodeFailure
+        When no locator consistent with the syndromes exists within the
+        bounded-distance budget (caller reports detection).
+    """
+    r = len(syndromes)
+    f = len(erasure_coeffs)
+    if f > r:
+        raise RSDecodeFailure("more erasures than redundancy")
+    s_poly = poly.trim(np.asarray(syndromes, dtype=np.int64))
+    if poly.is_zero(s_poly) and f == 0:
+        return []
+
+    # Erasure locator Gamma(x) = prod (1 - X_e x).
+    gamma = np.array([1], dtype=np.int64)
+    for c in erasure_coeffs:
+        x_e = field.alpha_pow(c)
+        gamma = poly.mul(field, gamma, np.array([1, x_e], dtype=np.int64))
+
+    # Modified syndrome Xi = S * Gamma mod x^r.
+    xi = poly.mul(field, s_poly, gamma)[:r]
+    xi = poly.trim(xi)
+
+    # Sugiyama: run extended Euclid on (x^r, Xi) until deg(rem) < (r + f) / 2.
+    target = (r + f) / 2.0
+    r_prev = np.zeros(r + 1, dtype=np.int64)
+    r_prev[r] = 1  # x^r
+    r_cur = xi
+    t_prev = np.array([0], dtype=np.int64)
+    t_cur = np.array([1], dtype=np.int64)
+    while poly.degree(r_cur) >= target:
+        if poly.is_zero(r_cur):
+            raise RSDecodeFailure("euclidean remainder vanished early")
+        q, rem = poly.divmod_(field, r_prev, r_cur)
+        t_next = poly.add(field, t_prev, poly.mul(field, q, t_cur))
+        r_prev, r_cur = r_cur, rem
+        t_prev, t_cur = t_cur, t_next
+    sigma = poly.trim(t_cur)
+    if sigma[0] == 0:
+        raise RSDecodeFailure("error locator has zero constant term")
+    if poly.degree(sigma) > (r - f) // 2:
+        raise RSDecodeFailure("error locator degree exceeds capability")
+
+    # Combined locator covers both errors and erasures.
+    psi = poly.mul(field, sigma, gamma)
+    nu = poly.degree(psi)
+    if nu == 0:
+        return []
+
+    # Chien search over valid coefficient indices only (shortened support).
+    idxs = np.arange(n, dtype=np.int64)
+    points = np.array([field.alpha_pow(-int(c)) for c in idxs], dtype=np.int64)
+    values = poly.evaluate_many(field, psi, points)
+    roots = idxs[values == 0]
+    if roots.size != nu:
+        raise RSDecodeFailure("locator roots do not match its degree")
+
+    # Forney: e_c = X^(1-fcr) * Omega(X^-1) / Psi'(X^-1),  X = alpha^c.
+    omega = poly.trim(poly.mul(field, s_poly, psi)[:r])
+    psi_deriv = poly.derivative(field, psi)
+    corrections: list[tuple[int, int]] = []
+    for c in roots:
+        c = int(c)
+        x_inv = field.alpha_pow(-c)
+        denom = poly.evaluate(field, psi_deriv, x_inv)
+        if denom == 0:
+            raise RSDecodeFailure("repeated locator root (derivative vanished)")
+        num = poly.evaluate(field, omega, x_inv)
+        magnitude = field.mul(field.pow(field.alpha_pow(c), 1 - fcr), field.div(num, denom))
+        if magnitude == 0 and c not in erasure_coeffs:
+            raise RSDecodeFailure("zero magnitude at a claimed error location")
+        if magnitude != 0:
+            corrections.append((c, int(magnitude)))
+    return corrections
+
+
+class ReedSolomonCode(BlockCode):
+    """A systematic (n, k) Reed-Solomon code over GF(2^m).
+
+    ``n`` may be smaller than ``2^m - 1``; the code is then the standard
+    shortened RS code (virtual leading zeros).  Codeword layout is
+    ``[data_0 .. data_{k-1}, parity_0 .. parity_{r-1}]`` with codeword
+    position ``p`` holding polynomial coefficient ``n - 1 - p``.
+
+    Parameters
+    ----------
+    field:
+        Symbol field GF(2^m).
+    n, k:
+        Code length and dimension in symbols, ``k < n <= 2^m - 1``.
+    fcr:
+        First consecutive root exponent of the generator polynomial.
+    """
+
+    def __init__(self, field: GF2m, n: int, k: int, fcr: int = 1):
+        if not 0 < k < n:
+            raise ValueError(f"need 0 < k < n, got n={n}, k={k}")
+        if n > field.order - 1:
+            raise ValueError(
+                f"n={n} exceeds field length limit {field.order - 1}; "
+                "use SinglyExtendedRS for one extra symbol"
+            )
+        self.field = field
+        self.n = n
+        self.k = k
+        self.fcr = fcr
+        self.t = (n - k) // 2
+        self.generator = poly.from_roots(
+            field, [field.alpha_pow(fcr + j) for j in range(n - k)]
+        )
+        self._synd_powers: np.ndarray | None = None
+        self._impulse_parities: np.ndarray | None = None
+
+    @property
+    def d_min(self) -> int:
+        """Minimum distance (RS codes are MDS)."""
+        return self.r + 1
+
+    # -- layout helpers ----------------------------------------------------
+
+    def _word_to_poly(self, word: np.ndarray) -> np.ndarray:
+        """Codeword positions -> ascending-degree coefficients."""
+        return np.asarray(word, dtype=np.int64)[::-1]
+
+    def _poly_to_word(self, coeffs: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.n, dtype=np.int64)
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        out[self.n - coeffs.size :] = coeffs[::-1]
+        return out
+
+    def position_of_coeff(self, coeff_index: int) -> int:
+        return self.n - 1 - coeff_index
+
+    def coeff_of_position(self, position: int) -> int:
+        return self.n - 1 - position
+
+    # -- codec -------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.int64)
+        if data.shape != (self.k,):
+            raise ValueError(f"expected {self.k} data symbols, got shape {data.shape}")
+        if np.any((data < 0) | (data >= self.field.order)):
+            raise ValueError("data symbols out of field range")
+        # c(x) = d(x) * x^r + (d(x) * x^r mod g(x))
+        shifted = poly.mul_x_power(data[::-1], self.r)
+        parity_poly = poly.mod(self.field, shifted, self.generator)
+        parity = np.zeros(self.r, dtype=np.int64)
+        parity_poly = poly.trim(parity_poly)
+        parity[self.r - parity_poly.size :] = parity_poly[::-1]
+        return np.concatenate([data, parity])
+
+    def syndromes(self, received: np.ndarray) -> np.ndarray:
+        """``S_j = R(alpha^(fcr+j))`` for j in 0..r-1.
+
+        Uses a cached power matrix so the common clean-word screen is one
+        vectorised multiply-XOR pass rather than a Horner loop.
+        """
+        if self._synd_powers is None:
+            coeff = np.arange(self.n - 1, -1, -1, dtype=np.int64)  # per position
+            rows = []
+            for j in range(self.r):
+                exps = ((self.fcr + j) * coeff) % (self.field.order - 1)
+                rows.append(self.field._exp[exps])
+            self._synd_powers = np.stack(rows)
+        received = np.asarray(received, dtype=np.int64)
+        products = self.field.mul(self._synd_powers, received[None, :])
+        return np.bitwise_xor.reduce(products, axis=1)
+
+    def impulse_parities(self) -> np.ndarray:
+        """Parity rows for unit data symbols: shape ``(k, r)``.
+
+        Row ``i`` holds the parity symbols of the codeword whose data is the
+        unit vector at data position ``i``.  Because the code is linear over
+        GF(2^m), the parity of any *change* to the data is
+        ``XOR_i mul(delta_i, impulse[i])`` - the incremental ("expandable")
+        parity update PAIR performs in the open row buffer on writes.
+        """
+        if self._impulse_parities is None:
+            table = np.zeros((self.k, self.r), dtype=np.int64)
+            # x^m mod g, iteratively for m = r .. n-1 (data coeff indices).
+            g = self.generator  # monic, degree r, ascending coefficients
+            rem = g[: self.r].copy()  # x^r mod g  (char 2: low part of g)
+            for m in range(self.r, self.n):
+                data_pos = self.n - 1 - m
+                if data_pos < self.k:
+                    # parity word layout: position k+j holds coeff r-1-j
+                    table[data_pos] = rem[::-1]
+                if m == self.n - 1:
+                    break
+                lead = int(rem[-1])
+                shifted = np.concatenate([[0], rem[:-1]])
+                if lead:
+                    shifted ^= np.asarray(self.field.mul(g[: self.r], lead))
+                rem = shifted
+
+            self._impulse_parities = table
+        return self._impulse_parities
+
+    def decode(self, received: np.ndarray, erasures: tuple[int, ...] = ()) -> DecodeResult:
+        """Errors-and-erasures bounded-distance decode.
+
+        ``erasures`` are codeword *positions* (0-based, data-first layout)
+        whose symbols are unreliable; their received values participate in the
+        syndrome computation, so callers may leave stale data in place.
+        """
+        received = np.asarray(received, dtype=np.int64)
+        if received.shape != (self.n,):
+            raise ValueError(f"expected {self.n} symbols, got shape {received.shape}")
+        synd = self.syndromes(received)
+        if not np.any(synd) and not erasures:
+            return DecodeResult(
+                DecodeStatus.OK, received[: self.k].copy(), codeword=received.copy()
+            )
+        erasure_coeffs = tuple(self.coeff_of_position(p) for p in erasures)
+        try:
+            corrections = _solve_key_equation(
+                self.field, synd, erasure_coeffs, self.fcr, self.n
+            )
+        except RSDecodeFailure:
+            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
+        corrected = received.copy()
+        positions = []
+        for coeff_idx, magnitude in corrections:
+            pos = self.position_of_coeff(coeff_idx)
+            corrected[pos] ^= magnitude
+            positions.append(pos)
+        if np.any(self.syndromes(corrected)):
+            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
+        if not positions:
+            return DecodeResult(
+                DecodeStatus.OK, corrected[: self.k].copy(), codeword=corrected
+            )
+        return DecodeResult(
+            DecodeStatus.CORRECTED,
+            corrected[: self.k].copy(),
+            tuple(sorted(positions)),
+            codeword=corrected,
+        )
+
+    def shortened(self, n: int, k: int) -> "ReedSolomonCode":
+        """A shortened sibling sharing field/fcr (same decoder hardware)."""
+        if self.n - self.k != n - k:
+            raise ValueError("shortening must preserve the redundancy")
+        return ReedSolomonCode(self.field, n, k, self.fcr)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReedSolomonCode(GF(2^{self.field.m}), n={self.n}, k={self.k}, "
+            f"t={self.t}, fcr={self.fcr})"
+        )
+
+
+class SinglyExtendedRS(BlockCode):
+    """Singly extended Reed-Solomon code.
+
+    The codeword appends one extra symbol ``c_ext = c(alpha^0)`` (the sum of
+    the inner codeword symbols) to an inner RS code with generator roots
+    ``alpha^1 .. alpha^r``.  The extension raises the minimum distance from
+    ``r + 1`` to ``r + 2`` without storing more redundancy symbols than
+    ``r + 1`` total, and - crucially for PAIR - the *same* solver decodes the
+    inner, shortened and extended variants.
+
+    Correction capability: any error pattern of total weight
+    ``<= (r + 1) // 2`` (inner symbols plus the extension symbol combined) is
+    corrected; the decoder tries the "extension clean" hypothesis first and
+    falls back to the "extension corrupted" hypothesis.
+
+    Layout: ``[data_0 .. data_{k-1}, parity_0 .. parity_{r-1}, ext]``.
+    """
+
+    def __init__(self, field: GF2m, n: int, k: int):
+        inner_n = n - 1
+        if inner_n > field.order - 1:
+            raise ValueError(f"extended length {n} exceeds {field.order}")
+        self.field = field
+        self.n = n
+        self.k = k
+        self.inner = ReedSolomonCode(field, inner_n, k, fcr=1)
+        self.t = (self.inner.r + 1) // 2
+
+    @property
+    def d_min(self) -> int:
+        return self.inner.r + 2
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        inner_word = self.inner.encode(data)
+        ext = int(np.bitwise_xor.reduce(inner_word))  # c(alpha^0) = sum of symbols
+        return np.concatenate([inner_word, [ext]])
+
+    def _try_case(
+        self,
+        syndromes: np.ndarray,
+        fcr: int,
+        erasure_positions: tuple[int, ...],
+    ) -> list[tuple[int, int]] | None:
+        """Solve one decoding hypothesis.
+
+        Accepts when the errors-and-erasures budget holds for this
+        hypothesis's syndrome count: ``2 * true_errors + erasures <= m``.
+        """
+        erasure_coeffs = tuple(self.inner.coeff_of_position(p) for p in erasure_positions)
+        try:
+            corrections = _solve_key_equation(
+                self.field, syndromes, erasure_coeffs, fcr, self.inner.n
+            )
+        except RSDecodeFailure:
+            return None
+        erased = set(erasure_positions)
+        true_errors = sum(
+            1
+            for coeff_idx, _ in corrections
+            if self.inner.position_of_coeff(coeff_idx) not in erased
+        )
+        if 2 * true_errors + len(erased) > len(syndromes):
+            return None
+        return corrections
+
+    def decode(self, received: np.ndarray, erasures: tuple[int, ...] = ()) -> DecodeResult:
+        received = np.asarray(received, dtype=np.int64)
+        if received.shape != (self.n,):
+            raise ValueError(f"expected {self.n} symbols, got shape {received.shape}")
+        inner_rx = received[:-1]
+        ext_rx = int(received[-1])
+        ext_erased = (self.n - 1) in erasures
+        inner_erasures = tuple(p for p in erasures if p < self.n - 1)
+
+        synd_inner = self.inner.syndromes(inner_rx)  # S_1 .. S_r (fcr=1)
+        s0 = int(np.bitwise_xor.reduce(inner_rx)) ^ ext_rx  # e(1) ^ e_ext
+
+        # Case A: extension symbol assumed correct -> S_0 is a true syndrome,
+        # giving r+1 consecutive syndromes starting at alpha^0.
+        if not ext_erased:
+            synd_a = np.concatenate([[s0], synd_inner])
+            corrections = self._try_case(synd_a, 0, inner_erasures)
+            if corrections is not None:
+                corrected = inner_rx.copy()
+                positions = []
+                for coeff_idx, mag in corrections:
+                    pos = self.inner.position_of_coeff(coeff_idx)
+                    corrected[pos] ^= mag
+                    positions.append(pos)
+                ok = not np.any(self.inner.syndromes(corrected))
+                ok = ok and int(np.bitwise_xor.reduce(corrected)) == ext_rx
+                if ok:
+                    status = DecodeStatus.CORRECTED if positions else DecodeStatus.OK
+                    full = np.concatenate([corrected, [ext_rx]])
+                    return DecodeResult(
+                        status,
+                        corrected[: self.k].copy(),
+                        tuple(sorted(positions)),
+                        codeword=full,
+                    )
+
+        # Case B: extension symbol corrupted (or erased) -> it costs one unit
+        # of the distance budget; decode the inner word alone.
+        corrections = self._try_case(synd_inner, 1, inner_erasures)
+        if corrections is not None:
+            corrected = inner_rx.copy()
+            positions = []
+            for coeff_idx, mag in corrections:
+                pos = self.inner.position_of_coeff(coeff_idx)
+                corrected[pos] ^= mag
+                positions.append(pos)
+            if not np.any(self.inner.syndromes(corrected)):
+                true_ext = int(np.bitwise_xor.reduce(corrected))
+                if true_ext != ext_rx:
+                    positions.append(self.n - 1)
+                full = np.concatenate([corrected, [true_ext]])
+                if positions:
+                    return DecodeResult(
+                        DecodeStatus.CORRECTED,
+                        corrected[: self.k].copy(),
+                        tuple(sorted(positions)),
+                        codeword=full,
+                    )
+                return DecodeResult(
+                    DecodeStatus.OK, corrected[: self.k].copy(), codeword=full
+                )
+        return DecodeResult(DecodeStatus.DETECTED, inner_rx[: self.k].copy())
+
+    def shortened(self, n: int, k: int) -> "SinglyExtendedRS":
+        """Shortened extended code with the same redundancy (mother decoder)."""
+        if self.n - self.k != n - k:
+            raise ValueError("shortening must preserve the redundancy")
+        return SinglyExtendedRS(self.field, n, k)
+
+    def __repr__(self) -> str:
+        return (
+            f"SinglyExtendedRS(GF(2^{self.field.m}), n={self.n}, k={self.k}, "
+            f"t={self.t})"
+        )

@@ -1,0 +1,73 @@
+"""Physical-address decomposition into DRAM coordinates.
+
+The performance simulator and the examples need a deterministic mapping from
+a flat physical address space onto (bank, row, column) coordinates of a rank.
+Two standard interleavings are provided; both operate at cacheline (one rank
+access) granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .config import RankConfig
+
+
+class Interleave(Enum):
+    """How consecutive cachelines spread across the rank."""
+
+    #: consecutive lines walk the row first (row-buffer friendly streams)
+    ROW_LOCAL = "row-local"
+    #: consecutive lines rotate across banks (bank-level parallelism)
+    BANK_ROTATE = "bank-rotate"
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """Coordinates of one rank access."""
+
+    bank: int
+    row: int
+    col: int
+
+    def same_row(self, other: "DramAddress") -> bool:
+        return self.bank == other.bank and self.row == other.row
+
+
+class AddressMapper:
+    """Maps flat cacheline indices to :class:`DramAddress` and back."""
+
+    def __init__(self, rank: RankConfig, interleave: Interleave = Interleave.BANK_ROTATE):
+        self.rank = rank
+        self.interleave = interleave
+        self.cols = rank.device.columns_per_row
+        self.banks = rank.device.banks
+        self.rows = rank.device.rows_per_bank
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total addressable cachelines in the rank."""
+        return self.banks * self.rows * self.cols
+
+    def decompose(self, line: int) -> DramAddress:
+        """Map a flat cacheline index to DRAM coordinates."""
+        if not 0 <= line < self.capacity_lines:
+            raise ValueError(f"line {line} out of range [0, {self.capacity_lines})")
+        if self.interleave is Interleave.ROW_LOCAL:
+            col = line % self.cols
+            rest = line // self.cols
+            bank = rest % self.banks
+            row = rest // self.banks
+        else:  # BANK_ROTATE
+            bank = line % self.banks
+            rest = line // self.banks
+            col = rest % self.cols
+            row = rest // self.cols
+        return DramAddress(bank=bank, row=row, col=col)
+
+    def compose(self, addr: DramAddress) -> int:
+        """Inverse of :meth:`decompose`."""
+        if self.interleave is Interleave.ROW_LOCAL:
+            return (addr.row * self.banks + addr.bank) * self.cols + addr.col
+        return (addr.row * self.cols + addr.col) * self.banks + addr.bank

@@ -1,0 +1,132 @@
+"""Bank-level timing state machine.
+
+Models one bank's row-buffer state and the earliest-issue constraints between
+ACT/PRE/RD/WR commands.  The memory controller (:mod:`repro.perf.timing_sim`)
+owns the shared data bus and the scheduling policy; the bank model answers
+"when could this access complete if issued now?" and commits the chosen
+schedule.
+
+The model is event-timestamp based (no per-cycle ticking), which keeps
+simulating millions of requests cheap while preserving the structural
+differences the ECC schemes introduce (RMW write occupancy, burst stretch,
+added CAS latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .commands import Command, IssuedCommand
+from .timing import DramTiming, SchemeTimingOverlay
+
+
+@dataclass
+class AccessPlan:
+    """A fully scheduled access: issue times and completion."""
+
+    cas_cycle: float
+    data_start: float
+    data_end: float
+    commands: list[IssuedCommand] = field(default_factory=list)
+
+    @property
+    def completion(self) -> float:
+        return self.data_end
+
+
+class BankTimingModel:
+    """Timing state for a single bank."""
+
+    def __init__(self, bank_id: int, timing: DramTiming):
+        self.bank_id = bank_id
+        self.timing = timing
+        self.open_row: int | None = None
+        self.next_act: float = 0.0
+        self.next_cas: float = 0.0
+        self.next_pre: float = 0.0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+
+    def is_row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    def earliest_cas(self, now: float, row: int) -> float:
+        """Earliest CAS issue time for ``row`` without committing anything."""
+        t = self.timing
+        if self.open_row == row:
+            return max(now, self.next_cas)
+        if self.open_row is None:
+            act = max(now, self.next_act)
+            return max(act + t.tRCD, self.next_cas)
+        pre = max(now, self.next_pre)
+        act = max(pre + t.tRP, self.next_act)
+        return max(act + t.tRCD, self.next_cas)
+
+    def _open(self, now: float, row: int, commands: list[IssuedCommand]) -> float:
+        """Ensure ``row`` is open; return earliest CAS time."""
+        t = self.timing
+        if self.open_row == row:
+            self.row_hits += 1
+            return max(now, self.next_cas)
+        if self.open_row is None:
+            self.row_misses += 1
+            act = max(now, self.next_act)
+        else:
+            self.row_conflicts += 1
+            pre = max(now, self.next_pre)
+            commands.append(IssuedCommand(Command.PRE, pre, self.bank_id, self.open_row))
+            act = max(pre + t.tRP, self.next_act)
+        commands.append(IssuedCommand(Command.ACT, act, self.bank_id, row))
+        self.open_row = row
+        self.next_act = act + t.tRC
+        self.next_pre = act + t.tRAS
+        return max(act + t.tRCD, self.next_cas)
+
+    def issue_read(
+        self,
+        now: float,
+        row: int,
+        col: int,
+        overlay: SchemeTimingOverlay,
+        bus_free: float,
+    ) -> AccessPlan:
+        """Schedule a read; returns the plan (caller updates the bus)."""
+        t = self.timing
+        commands: list[IssuedCommand] = []
+        cas = self._open(now, row, commands)
+        burst = overlay.stretched_burst(t.tBURST)
+        # Data can only start once the shared bus is free; model the CAS as
+        # delayed until its data window fits.
+        data_start = max(cas + t.cl + overlay.read_latency_cycles, bus_free)
+        cas = data_start - t.cl - overlay.read_latency_cycles
+        data_end = data_start + burst
+        commands.append(IssuedCommand(Command.RD, cas, self.bank_id, row, col))
+        self.next_cas = cas + max(t.tCCD, burst)
+        self.next_pre = max(self.next_pre, cas + t.tRTP)
+        return AccessPlan(cas, data_start, data_end, commands)
+
+    def issue_write(
+        self,
+        now: float,
+        row: int,
+        col: int,
+        overlay: SchemeTimingOverlay,
+        bus_free: float,
+        pays_rmw: bool,
+    ) -> AccessPlan:
+        """Schedule a write; RMW cost extends the bank's busy window."""
+        t = self.timing
+        commands: list[IssuedCommand] = []
+        cas = self._open(now, row, commands)
+        burst = overlay.stretched_burst(t.tBURST)
+        data_start = max(cas + t.cwl, bus_free)
+        cas = data_start - t.cwl
+        data_end = data_start + burst
+        commands.append(IssuedCommand(Command.WR, cas, self.bank_id, row, col))
+        rmw = overlay.write_rmw_cycles if pays_rmw else 0
+        # The internal read-correct-merge-encode sequence keeps the bank's
+        # column path busy and delays both the next CAS and write recovery.
+        self.next_cas = cas + max(t.tCCD, burst) + rmw
+        self.next_pre = max(self.next_pre, data_end + t.tWR + rmw)
+        return AccessPlan(cas, data_start, data_end, commands)

@@ -1,0 +1,33 @@
+"""DRAM command vocabulary shared by the bank model and the controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Command(Enum):
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    REF = "refresh"
+
+
+@dataclass(frozen=True)
+class IssuedCommand:
+    """A command stamped with its issue cycle (for traces and debugging)."""
+
+    command: Command
+    cycle: float
+    bank: int
+    row: int | None = None
+    col: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        loc = f"b{self.bank}"
+        if self.row is not None:
+            loc += f".r{self.row}"
+        if self.col is not None:
+            loc += f".c{self.col}"
+        return f"@{self.cycle:.0f} {self.command.name} {loc}"

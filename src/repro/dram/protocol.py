@@ -1,0 +1,121 @@
+"""DRAM command-protocol checker.
+
+Validates a timestamped command stream (the :class:`IssuedCommand` lists the
+bank model emits) against the JEDEC-style legality rules the timing
+parameters imply:
+
+* ACT only to a closed bank; RD/WR only to the open row; PRE only when open;
+* tRCD between ACT and the first CAS, tRP between PRE and the next ACT,
+  tRAS between ACT and PRE, tRC between ACTs to the same bank;
+* tCCD between CAS commands (same bank).
+
+The checker is deliberately independent of the bank model's internals - it
+re-derives state purely from the command stream - so it catches scheduling
+bugs rather than inheriting them.  The perf test suite runs every simulated
+workload through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .commands import Command, IssuedCommand
+from .timing import DramTiming
+
+# Timing slack for floating-point timestamps.
+_EPS = 1e-6
+
+
+@dataclass
+class Violation:
+    """One protocol violation found in a command stream."""
+
+    rule: str
+    command: IssuedCommand
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rule}] {self.command}: {self.detail}"
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    last_act: float = float("-inf")
+    last_pre: float = float("-inf")
+    last_cas: float = float("-inf")
+
+
+class ProtocolChecker:
+    """Replays a command stream and reports every timing/state violation."""
+
+    def __init__(self, timing: DramTiming):
+        self.timing = timing
+
+    def check(self, commands: list[IssuedCommand]) -> list[Violation]:
+        violations: list[Violation] = []
+        banks: dict[int, _BankState] = {}
+        for cmd in sorted(commands, key=lambda c: (c.cycle, c.command is not Command.PRE)):
+            state = banks.setdefault(cmd.bank, _BankState())
+            handler = {
+                Command.ACT: self._check_act,
+                Command.PRE: self._check_pre,
+                Command.RD: self._check_cas,
+                Command.WR: self._check_cas,
+            }.get(cmd.command)
+            if handler is None:
+                continue  # REF handled by the controller-level model
+            violations.extend(handler(cmd, state))
+        return violations
+
+    def _check_act(self, cmd: IssuedCommand, state: _BankState) -> list[Violation]:
+        t = self.timing
+        out = []
+        if state.open_row is not None:
+            out.append(Violation("ACT-on-open", cmd, f"row {state.open_row} still open"))
+        if cmd.cycle < state.last_pre + t.tRP - _EPS:
+            out.append(
+                Violation("tRP", cmd, f"only {cmd.cycle - state.last_pre:.1f} after PRE")
+            )
+        if cmd.cycle < state.last_act + t.tRC - _EPS:
+            out.append(
+                Violation("tRC", cmd, f"only {cmd.cycle - state.last_act:.1f} after ACT")
+            )
+        state.open_row = cmd.row
+        state.last_act = cmd.cycle
+        return out
+
+    def _check_pre(self, cmd: IssuedCommand, state: _BankState) -> list[Violation]:
+        t = self.timing
+        out = []
+        if state.open_row is None:
+            out.append(Violation("PRE-on-closed", cmd, "no row open"))
+        if cmd.cycle < state.last_act + t.tRAS - _EPS:
+            out.append(
+                Violation("tRAS", cmd, f"only {cmd.cycle - state.last_act:.1f} after ACT")
+            )
+        state.open_row = None
+        state.last_pre = cmd.cycle
+        return out
+
+    def _check_cas(self, cmd: IssuedCommand, state: _BankState) -> list[Violation]:
+        t = self.timing
+        out = []
+        if state.open_row is None:
+            out.append(Violation("CAS-on-closed", cmd, "no row open"))
+        elif state.open_row != cmd.row:
+            out.append(
+                Violation(
+                    "CAS-wrong-row", cmd, f"row {state.open_row} open, {cmd.row} addressed"
+                )
+            )
+        if cmd.cycle < state.last_act + t.tRCD - _EPS:
+            out.append(
+                Violation("tRCD", cmd, f"only {cmd.cycle - state.last_act:.1f} after ACT")
+            )
+        if cmd.cycle < state.last_cas + t.tCCD - _EPS:
+            out.append(
+                Violation("tCCD", cmd, f"only {cmd.cycle - state.last_cas:.1f} after CAS")
+            )
+        state.last_cas = cmd.cycle
+        return out

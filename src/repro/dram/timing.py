@@ -1,0 +1,96 @@
+"""DDR5-class timing parameters and per-scheme timing overlays.
+
+All values are in *memory-controller clock cycles* (one cycle per command
+slot; data moves at double rate so a BL16 burst occupies BL/2 = 8 cycles on
+the data bus).  The preset numbers follow DDR5-4800 datasheet-order
+magnitudes; the reproduction only relies on their relative structure.
+
+A :class:`SchemeTimingOverlay` captures how an ECC scheme perturbs the
+datapath - this is where the performance differences between conventional
+IECC, XED, DUO and PAIR come from (DESIGN.md section 6):
+
+* ``read_latency_cycles``: extra cycles on every read CAS (decode logic in
+  the critical path);
+* ``burst_stretch``: multiplier on data-bus occupancy (DUO's BL16 -> BL17
+  redundancy transfer = 17/16);
+* ``write_rmw_cycles``: extra bank-busy cycles for *masked* (sub-codeword)
+  writes that force an internal read-correct-merge-encode sequence
+  (conventional IECC and XED; PAIR avoids it by updating parity from the
+  open row buffer via the linear-code delta trick);
+* ``masked_write_extra_read``: whether a masked write must be preceded by a
+  full read of the line at the controller (DUO, whose codeword lives at the
+  controller and spans the whole line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Core timing parameters in controller cycles."""
+
+    name: str = "ddr5-4800"
+    tCK_ns: float = 0.417  # 2400 MHz clock, data at 4800 MT/s
+    cl: int = 40  # read CAS latency
+    cwl: int = 38  # write CAS latency
+    tRCD: int = 39
+    tRP: int = 39
+    tRAS: int = 76
+    tRC: int = 115
+    tBURST: int = 8  # BL16 at double data rate
+    tCCD: int = 8  # back-to-back CAS, same bank group
+    tWR: int = 72  # write recovery
+    tRTP: int = 18  # read to precharge
+    tWTR: int = 16  # write to read turnaround
+    tRRD: int = 8  # activate to activate, different banks
+    tREFI: int = 9360  # average refresh interval (3.9 us at this clock)
+    tRFC: int = 700  # all-bank refresh duration (~295 ns)
+
+    def ns(self, cycles: float) -> float:
+        """Convert cycles to nanoseconds."""
+        return cycles * self.tCK_ns
+
+
+@dataclass(frozen=True)
+class SchemeTimingOverlay:
+    """How an ECC scheme perturbs the DRAM datapath timing."""
+
+    name: str = "none"
+    read_latency_cycles: int = 0
+    burst_stretch: float = 1.0
+    write_rmw_cycles: int = 0
+    rmw_on_all_writes: bool = False
+    masked_write_extra_read: bool = False
+
+    def write_pays_rmw(self, is_masked: bool) -> bool:
+        """Whether a write with the given masking pays the RMW occupancy."""
+        if self.write_rmw_cycles <= 0:
+            return False
+        return self.rmw_on_all_writes or is_masked
+
+    def stretched_burst(self, tburst: int) -> float:
+        return tburst * self.burst_stretch
+
+
+DDR5_4800 = DramTiming()
+
+DDR4_3200 = DramTiming(
+    name="ddr4-3200",
+    tCK_ns=0.625,  # 1600 MHz clock, data at 3200 MT/s
+    cl=22,
+    cwl=16,
+    tRCD=22,
+    tRP=22,
+    tRAS=52,
+    tRC=74,
+    tBURST=4,  # BL8 at double data rate
+    tCCD=4,
+    tWR=24,
+    tRTP=12,
+    tWTR=12,
+    tRRD=8,
+    tREFI=12480,  # 7.8 us at this clock
+    tRFC=560,  # ~350 ns
+)

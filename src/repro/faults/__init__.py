@@ -1,0 +1,17 @@
+"""Fault substrate: taxonomy, rates, sampling and mask generation."""
+
+from .rates import DEFAULT_RATES, FaultRates
+from .sampler import FaultOverlay, FaultSampler, burst_mask, sample_transfer_burst
+from .types import FaultInstance, FaultType, TransferBurst
+
+__all__ = [
+    "FaultType",
+    "FaultInstance",
+    "TransferBurst",
+    "FaultRates",
+    "DEFAULT_RATES",
+    "FaultSampler",
+    "FaultOverlay",
+    "sample_transfer_burst",
+    "burst_mask",
+]

@@ -1,0 +1,77 @@
+"""DRAM fault taxonomy.
+
+The taxonomy follows the field-study classification this line of papers uses
+(single-cell weak cells dominate scaled devices; structured faults - rows,
+columns, pin lines, mats - occur at much lower per-device rates but corrupt
+geometrically correlated bit sets).
+
+A :class:`FaultInstance` names a *footprint* (which stored bits it may
+corrupt) and a *density* (the probability each footprint bit is actually
+flipped).  Persistent faults corrupt storage; :class:`TransferBurst` is the
+transient I/O event PAIR's burst-error claim targets, and lives at access
+time rather than in the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FaultType(Enum):
+    SINGLE_CELL = "single-cell"
+    ROW = "row"
+    COLUMN = "column"
+    PIN_LINE = "pin-line"
+    MAT = "mat"
+    TRANSFER_BURST = "transfer-burst"
+
+
+@dataclass(frozen=True)
+class FaultInstance:
+    """One persistent structured fault within a device.
+
+    Attributes
+    ----------
+    kind:
+        Fault class (not ``SINGLE_CELL`` - weak cells are sampled i.i.d. by
+        the overlay, not enumerated).
+    bank:
+        Bank the fault lives in.
+    row_start, row_count:
+        Affected row range within the bank.
+    pin:
+        Affected pin, or -1 when the fault spans all pins (row faults).
+    bit_start, bit_count:
+        Affected per-pin bit-offset range (column faults have
+        ``bit_count == 1``; pin-line faults span the whole pin).
+    density:
+        Probability that each footprint bit is corrupted.
+    """
+
+    kind: FaultType
+    bank: int
+    row_start: int
+    row_count: int
+    pin: int
+    bit_start: int
+    bit_count: int
+    density: float
+
+    def affects_row(self, bank: int, row: int) -> bool:
+        return (
+            bank == self.bank
+            and self.row_start <= row < self.row_start + self.row_count
+        )
+
+
+@dataclass(frozen=True)
+class TransferBurst:
+    """A transient burst on one pin during one access.
+
+    ``beat_start .. beat_start + length - 1`` beats of pin ``pin`` flip.
+    """
+
+    pin: int
+    beat_start: int
+    length: int

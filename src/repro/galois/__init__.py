@@ -1,0 +1,13 @@
+"""Galois-field substrate: GF(2^m) arithmetic, polynomials, GF(2) linear algebra."""
+
+from . import linalg2, poly
+from .gf2m import GF256, GF2m, PRIMITIVE_POLYNOMIALS, get_field
+
+__all__ = [
+    "GF2m",
+    "GF256",
+    "PRIMITIVE_POLYNOMIALS",
+    "get_field",
+    "poly",
+    "linalg2",
+]

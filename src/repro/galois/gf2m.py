@@ -1,0 +1,206 @@
+"""Finite-field arithmetic over GF(2^m).
+
+This module provides table-driven arithmetic for the binary extension fields
+used throughout the library.  The Reed-Solomon machinery in
+:mod:`repro.codes.rs` works over any ``GF2m`` instance; the PAIR architecture
+uses GF(2^8) because its symbols are byte-sized slices of a DQ pin line.
+
+The implementation is deliberately self-contained: log/antilog tables are
+built once per field and all elementwise operations accept numpy arrays so
+that Monte-Carlo reliability runs can stay vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Default primitive polynomials for GF(2^m), expressed as integers whose bits
+# are the polynomial coefficients (bit m is the leading x^m term).  These are
+# the conventional choices (e.g. 0x11D = x^8+x^4+x^3+x^2+1 for GF(2^8), the
+# polynomial used by most storage-class RS codecs).
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0x11D,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+    15: 0b1000000000000011,
+    16: 0x1100B,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Elements are represented as Python ints or numpy integer arrays in
+    ``[0, 2^m)``.  Addition is XOR; multiplication, division, inversion and
+    exponentiation go through log/antilog tables keyed by a primitive element
+    ``alpha`` (the root of the primitive polynomial).
+
+    Parameters
+    ----------
+    m:
+        Extension degree; the field has ``2^m`` elements.
+    primitive_poly:
+        Optional primitive polynomial (integer bit representation).  Defaults
+        to the standard polynomial for ``m`` from ``PRIMITIVE_POLYNOMIALS``.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if m not in PRIMITIVE_POLYNOMIALS and primitive_poly is None:
+            raise ValueError(f"no default primitive polynomial for m={m}")
+        if not 2 <= m <= 16:
+            raise ValueError(f"m must be in [2, 16], got {m}")
+        self.m = m
+        self.order = 1 << m
+        self.poly = primitive_poly if primitive_poly is not None else PRIMITIVE_POLYNOMIALS[m]
+        if self.poly >> m != 1:
+            raise ValueError(
+                f"primitive polynomial {self.poly:#x} does not have degree {m}"
+            )
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        size = self.order
+        exp = np.zeros(2 * size, dtype=np.int64)
+        log = np.zeros(size, dtype=np.int64)
+        x = 1
+        for i in range(size - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & size:
+                x ^= self.poly
+        if x != 1:
+            raise ValueError(f"polynomial {self.poly:#x} is not primitive for m={self.m}")
+        # Duplicate the exp table so products of logs index without a modulo.
+        exp[size - 1 : 2 * (size - 1)] = exp[: size - 1]
+        exp[2 * (size - 1) :] = exp[: 2 * size - 2 * (size - 1)]
+        log[0] = -1  # sentinel: log of zero is undefined
+        self._exp = exp
+        self._log = log
+
+    # -- scalar/array arithmetic ------------------------------------------
+
+    def add(self, a, b):
+        """Field addition (XOR); works on ints and numpy arrays alike."""
+        return a ^ b
+
+    sub = add  # characteristic 2: subtraction is addition
+
+    def mul(self, a, b):
+        """Field multiplication of scalars or same-shape numpy arrays."""
+        if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+            if a == 0 or b == 0:
+                return 0
+            return int(self._exp[self._log[a] + self._log[b]])
+        a = np.asarray(a)
+        b = np.asarray(b)
+        out = self._exp[self._log[a] + self._log[b]]
+        zero = (a == 0) | (b == 0)
+        return np.where(zero, 0, out)
+
+    def inv(self, a):
+        """Multiplicative inverse; raises ZeroDivisionError on zero."""
+        if isinstance(a, (int, np.integer)):
+            if a == 0:
+                raise ZeroDivisionError("inverse of zero in GF(2^m)")
+            return int(self._exp[(self.order - 1) - self._log[a]])
+        a = np.asarray(a)
+        if np.any(a == 0):
+            raise ZeroDivisionError("inverse of zero in GF(2^m)")
+        return self._exp[(self.order - 1) - self._log[a]]
+
+    def div(self, a, b):
+        """Field division ``a / b``."""
+        if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+            if b == 0:
+                raise ZeroDivisionError("division by zero in GF(2^m)")
+            if a == 0:
+                return 0
+            return int(self._exp[self._log[a] - self._log[b] + (self.order - 1)])
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        out = self._exp[self._log[a] - self._log[b] + (self.order - 1)]
+        return np.where(a == 0, 0, out)
+
+    def pow(self, a, e: int):
+        """Raise ``a`` to integer power ``e`` (negative allowed for nonzero a)."""
+        if isinstance(a, (int, np.integer)):
+            if a == 0:
+                if e == 0:
+                    return 1
+                if e < 0:
+                    raise ZeroDivisionError("negative power of zero")
+                return 0
+            return int(self._exp[(self._log[a] * e) % (self.order - 1)])
+        a = np.asarray(a)
+        if e < 0 and np.any(a == 0):
+            raise ZeroDivisionError("negative power of zero")
+        out = self._exp[(self._log[a] * e) % (self.order - 1)]
+        if e == 0:
+            return np.ones_like(a)
+        return np.where(a == 0, 0, out)
+
+    def alpha_pow(self, e: int) -> int:
+        """Return ``alpha^e`` for the primitive element alpha."""
+        return int(self._exp[e % (self.order - 1)])
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha of a nonzero element."""
+        if a == 0:
+            raise ValueError("log of zero is undefined")
+        return int(self._log[a])
+
+    # -- helpers -----------------------------------------------------------
+
+    def elements(self) -> np.ndarray:
+        """All field elements ``0 .. 2^m - 1`` as an array."""
+        return np.arange(self.order, dtype=np.int64)
+
+    def to_bits(self, symbols, width: int | None = None) -> np.ndarray:
+        """Expand an array of symbols into a bit array (LSB first per symbol)."""
+        width = width if width is not None else self.m
+        symbols = np.asarray(symbols, dtype=np.int64)
+        shifts = np.arange(width, dtype=np.int64)
+        return ((symbols[..., None] >> shifts) & 1).astype(np.uint8)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Pack a trailing bit axis (LSB first) back into symbols."""
+        bits = np.asarray(bits, dtype=np.int64)
+        shifts = np.arange(bits.shape[-1], dtype=np.int64)
+        return (bits << shifts).sum(axis=-1)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GF2m) and other.m == self.m and other.poly == self.poly
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.poly))
+
+    def __repr__(self) -> str:
+        return f"GF2m(m={self.m}, poly={self.poly:#x})"
+
+
+_FIELD_CACHE: dict[tuple[int, int | None], GF2m] = {}
+
+
+def get_field(m: int, primitive_poly: int | None = None) -> GF2m:
+    """Return a cached ``GF2m`` instance (tables are expensive to rebuild)."""
+    key = (m, primitive_poly)
+    if key not in _FIELD_CACHE:
+        _FIELD_CACHE[key] = GF2m(m, primitive_poly)
+    return _FIELD_CACHE[key]
+
+
+GF256 = get_field(8)
+"""The workhorse field for PAIR/DUO symbol arithmetic."""

@@ -1,0 +1,95 @@
+"""Linear algebra over GF(2).
+
+Used by the Hamming/SEC-DED code constructions and by tests that verify code
+properties (minimum distance, parity-check consistency).  Matrices are numpy
+``uint8`` arrays with entries in {0, 1}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns the reduced matrix and the list of pivot column indices.
+    """
+    m = np.asarray(matrix, dtype=np.uint8).copy() & 1
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        hits = np.nonzero(m[r:, c])[0]
+        if hits.size == 0:
+            continue
+        pivot = r + int(hits[0])
+        if pivot != r:
+            m[[r, pivot]] = m[[pivot, r]]
+        below = np.nonzero(m[:, c])[0]
+        for other in below:
+            if other != r:
+                m[other] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank over GF(2)."""
+    return len(rref(matrix)[1])
+
+
+def null_space(matrix: np.ndarray) -> np.ndarray:
+    """Basis of the right null space over GF(2), one vector per row."""
+    m = np.asarray(matrix, dtype=np.uint8) & 1
+    _, cols = m.shape
+    reduced, pivots = rref(m)
+    free = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free), cols), dtype=np.uint8)
+    for i, fc in enumerate(free):
+        basis[i, fc] = 1
+        for row, pc in enumerate(pivots):
+            basis[i, pc] = reduced[row, fc]
+    return basis
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """One solution of ``matrix @ x = rhs`` over GF(2), or None if infeasible."""
+    m = np.asarray(matrix, dtype=np.uint8) & 1
+    b = np.asarray(rhs, dtype=np.uint8).reshape(-1, 1) & 1
+    aug, pivots = rref(np.hstack([m, b]))
+    cols = m.shape[1]
+    if cols in pivots:
+        return None  # pivot in the RHS column: inconsistent system
+    x = np.zeros(cols, dtype=np.uint8)
+    for row, pc in enumerate(pivots):
+        x[pc] = aug[row, cols]
+    return x
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2)."""
+    a = np.asarray(a, dtype=np.uint8) & 1
+    b = np.asarray(b, dtype=np.uint8) & 1
+    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+
+
+def matvec(a: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Matrix-vector product over GF(2)."""
+    a = np.asarray(a, dtype=np.uint8) & 1
+    v = np.asarray(v, dtype=np.uint8) & 1
+    return (a.astype(np.int64) @ v.astype(np.int64) % 2).astype(np.uint8)
+
+
+def identity(n: int) -> np.ndarray:
+    return np.eye(n, dtype=np.uint8)
+
+
+def is_in_span(basis: np.ndarray, vector: np.ndarray) -> bool:
+    """Whether ``vector`` lies in the row span of ``basis`` over GF(2)."""
+    base_rank = rank(basis)
+    stacked = np.vstack([basis, np.asarray(vector, dtype=np.uint8).reshape(1, -1)])
+    return rank(stacked) == base_rank

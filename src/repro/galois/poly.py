@@ -1,0 +1,131 @@
+"""Polynomial arithmetic over GF(2^m).
+
+Polynomials are numpy ``int64`` arrays of coefficients in *ascending* degree
+order: ``p[i]`` is the coefficient of ``x^i``.  All functions take the field
+as the first argument, keeping the representation a plain array (cheap to
+slice, stack and vectorise inside the Reed-Solomon codec).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf2m import GF2m
+
+
+def trim(p: np.ndarray) -> np.ndarray:
+    """Drop trailing (high-degree) zero coefficients; zero poly -> [0]."""
+    p = np.asarray(p, dtype=np.int64)
+    nz = np.nonzero(p)[0]
+    if nz.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return p[: nz[-1] + 1]
+
+
+def degree(p: np.ndarray) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    nz = np.nonzero(np.asarray(p))[0]
+    return -1 if nz.size == 0 else int(nz[-1])
+
+
+def is_zero(p: np.ndarray) -> bool:
+    return degree(p) == -1
+
+
+def add(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Polynomial addition (coefficientwise XOR)."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.size < b.size:
+        a, b = b, a
+    out = a.copy()
+    out[: b.size] ^= b
+    return out
+
+
+def scale(field: GF2m, p: np.ndarray, c: int) -> np.ndarray:
+    """Multiply every coefficient by the scalar ``c``."""
+    return np.asarray(field.mul(np.asarray(p, dtype=np.int64), c), dtype=np.int64)
+
+
+def mul(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Polynomial multiplication via schoolbook convolution over the field."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    out = np.zeros(a.size + b.size - 1, dtype=np.int64)
+    for i, coeff in enumerate(a):
+        if coeff:
+            out[i : i + b.size] ^= np.asarray(field.mul(b, int(coeff)))
+    return out
+
+
+def mul_x_power(p: np.ndarray, k: int) -> np.ndarray:
+    """Multiply by ``x^k`` (shift coefficients up by k)."""
+    p = np.asarray(p, dtype=np.int64)
+    return np.concatenate([np.zeros(k, dtype=np.int64), p])
+
+
+def divmod_(field: GF2m, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Polynomial division: return ``(quotient, remainder)`` with a = q*b + r."""
+    a = trim(a).copy()
+    b = trim(b)
+    db = degree(b)
+    if db == -1:
+        raise ZeroDivisionError("polynomial division by zero")
+    da = degree(a)
+    if da < db:
+        return np.zeros(1, dtype=np.int64), trim(a)
+    q = np.zeros(da - db + 1, dtype=np.int64)
+    inv_lead = field.inv(int(b[db]))
+    for i in range(da - db, -1, -1):
+        coeff = field.mul(int(a[i + db]), inv_lead)
+        if coeff:
+            q[i] = coeff
+            a[i : i + db + 1] ^= np.asarray(field.mul(b, coeff))
+    return trim(q), trim(a)
+
+
+def mod(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Polynomial remainder ``a mod b``."""
+    return divmod_(field, a, b)[1]
+
+
+def evaluate(field: GF2m, p: np.ndarray, x: int) -> int:
+    """Evaluate ``p`` at the point ``x`` via Horner's rule."""
+    acc = 0
+    for coeff in np.asarray(p)[::-1]:
+        acc = field.mul(acc, x) ^ int(coeff)
+    return acc
+
+
+def evaluate_many(field: GF2m, p: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Evaluate ``p`` at every point of the array ``xs`` (vectorised Horner)."""
+    xs = np.asarray(xs, dtype=np.int64)
+    acc = np.zeros_like(xs)
+    for coeff in np.asarray(p)[::-1]:
+        acc = np.asarray(field.mul(acc, xs)) ^ int(coeff)
+    return acc
+
+
+def derivative(field: GF2m, p: np.ndarray) -> np.ndarray:
+    """Formal derivative.  In characteristic 2 only odd-degree terms survive."""
+    p = np.asarray(p, dtype=np.int64)
+    if p.size <= 1:
+        return np.zeros(1, dtype=np.int64)
+    d = p[1:].copy()
+    d[1::2] = 0  # even coefficients of the derivative come from even powers
+    return trim(d)
+
+
+def from_roots(field: GF2m, roots) -> np.ndarray:
+    """Monic polynomial with the given roots: prod (x - r)."""
+    p = np.array([1], dtype=np.int64)
+    for r in roots:
+        p = mul(field, p, np.array([int(r), 1], dtype=np.int64))
+    return p
+
+
+def equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Structural equality up to trailing zeros."""
+    ta, tb = trim(a), trim(b)
+    return ta.size == tb.size and bool(np.all(ta == tb))

@@ -1,0 +1,13 @@
+"""Maintenance substrate: patrol scrubbing and row sparing."""
+
+from .scrubber import RowHealth, ScrubReport, Scrubber
+from .sparing import MaintenanceController, SpareExhausted, SpareManager
+
+__all__ = [
+    "RowHealth",
+    "ScrubReport",
+    "Scrubber",
+    "SpareManager",
+    "SpareExhausted",
+    "MaintenanceController",
+]

@@ -1,0 +1,32 @@
+"""Performance engine: traces, workloads, controller timing simulation."""
+
+from .energy import DEFAULT_ENERGY, EnergyParams, energy_row, read_energy_pj, write_energy_pj
+from .metrics import PerfResult, summarize
+from .overheads import decoder_multiplier_proxy, overhead_row, transferred_bits_per_read
+from .timing_sim import ControllerConfig, MemoryController, simulate
+from .trace import Request, TraceConfig, generate_trace
+from .trace_io import load_trace, save_trace
+from .workloads import WORKLOADS, workload
+
+__all__ = [
+    "Request",
+    "TraceConfig",
+    "generate_trace",
+    "WORKLOADS",
+    "workload",
+    "ControllerConfig",
+    "MemoryController",
+    "simulate",
+    "PerfResult",
+    "summarize",
+    "overhead_row",
+    "transferred_bits_per_read",
+    "decoder_multiplier_proxy",
+    "EnergyParams",
+    "DEFAULT_ENERGY",
+    "energy_row",
+    "read_energy_pj",
+    "write_energy_pj",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,88 @@
+"""Static per-access energy accounting (table T3).
+
+First-order energy model in the style DRAM-architecture papers use for
+their overhead tables: every component cost is an explicit, documented
+constant (pJ), and per-scheme access energy composes from the mechanism
+counts the schemes already expose - bus bits moved, GF multiplier work,
+internal RMW array operations, extra chips activated.
+
+Absolute joules are not the point (the constants are catalogue-order
+approximations [R]); the *relative* ordering and the mechanism attribution
+are, matching how T2/T3-style tables are read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schemes.base import EccScheme
+from ..schemes.duo import Duo
+from ..schemes.iecc_sec import ConventionalIecc
+from ..schemes.pair import PairScheme
+from ..schemes.rank import RankSecDed
+from ..schemes.xed import Xed
+from .overheads import decoder_multiplier_proxy, transferred_bits_per_read
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Component energies in picojoules (catalogue-order constants [R])."""
+
+    bus_pj_per_bit: float = 4.0  # off-chip I/O toggle energy
+    array_pj_per_bit: float = 0.5  # sense/restore per stored bit touched
+    gf_mult_pj: float = 0.4  # one GF(2^8) multiply in the decode path
+    xor_tree_pj_per_bit: float = 0.02  # binary syndrome/parity logic
+    activate_pj: float = 900.0  # row activation (shared, per chip)
+
+
+DEFAULT_ENERGY = EnergyParams()
+
+
+def read_energy_pj(scheme: EccScheme, params: EnergyParams = DEFAULT_ENERGY) -> float:
+    """Energy of one 64-byte read through the scheme's datapath."""
+    bus = transferred_bits_per_read(scheme) * params.bus_pj_per_bit
+    decode = decoder_multiplier_proxy(scheme) * params.gf_mult_pj
+    if isinstance(scheme, (ConventionalIecc, Xed, RankSecDed)):
+        # binary syndrome evaluation over every fetched word
+        decode += scheme.rank.chips * 136 * params.xor_tree_pj_per_bit
+    array = scheme.rank.chips * scheme.rank.device.access_data_bits * params.array_pj_per_bit
+    return bus + decode + array
+
+
+def write_energy_pj(
+    scheme: EccScheme,
+    params: EnergyParams = DEFAULT_ENERGY,
+    masked: bool = False,
+) -> float:
+    """Energy of one 64-byte write, including RMW amplification."""
+    overlay = scheme.timing_overlay
+    bus = transferred_bits_per_read(scheme) * params.bus_pj_per_bit
+    array_bits = scheme.rank.chips * scheme.rank.device.access_data_bits
+    array = array_bits * params.array_pj_per_bit
+    encode = 0.0
+    if isinstance(scheme, PairScheme):
+        # impulse-parity delta update: k multiplies per touched codeword
+        codewords = len(scheme.layout.codewords_of_access(0)) * scheme.rank.data_chips
+        encode = codewords * 2 * scheme.code.inner.r * params.gf_mult_pj
+    elif isinstance(scheme, Duo):
+        encode = scheme.code.r * scheme.code.k * 0.01 * params.gf_mult_pj
+    elif isinstance(scheme, (ConventionalIecc, Xed, RankSecDed)):
+        encode = scheme.rank.chips * 136 * params.xor_tree_pj_per_bit
+    rmw = 0.0
+    if overlay.write_pays_rmw(masked):
+        # internal read-correct-merge-encode: the array is cycled twice
+        rmw = array
+    if masked and overlay.masked_write_extra_read:
+        # controller-side RMW: a full extra read over the bus
+        rmw += read_energy_pj(scheme, params)
+    return bus + array + encode + rmw
+
+
+def energy_row(scheme: EccScheme, params: EnergyParams = DEFAULT_ENERGY) -> dict[str, object]:
+    """One T3 table row (energies in nanojoules for readability)."""
+    return {
+        "scheme": scheme.name,
+        "read_nj": read_energy_pj(scheme, params) / 1000.0,
+        "write_nj": write_energy_pj(scheme, params, masked=False) / 1000.0,
+        "masked_write_nj": write_energy_pj(scheme, params, masked=True) / 1000.0,
+    }

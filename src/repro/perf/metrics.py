@@ -1,0 +1,64 @@
+"""Result containers for the performance simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Request
+
+
+@dataclass
+class PerfResult:
+    """Aggregate metrics of one simulated trace."""
+
+    scheme: str
+    workload: str
+    requests: int
+    read_latency_mean: float
+    read_latency_p95: float
+    write_latency_mean: float
+    total_cycles: float
+    throughput: float  # requests per kilocycle
+    row_hit_rate: float
+    bus_busy_fraction: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "requests": self.requests,
+            "read_latency_mean": self.read_latency_mean,
+            "read_latency_p95": self.read_latency_p95,
+            "write_latency_mean": self.write_latency_mean,
+            "total_cycles": self.total_cycles,
+            "throughput": self.throughput,
+            "row_hit_rate": self.row_hit_rate,
+            "bus_busy_fraction": self.bus_busy_fraction,
+        }
+
+
+def summarize(
+    scheme: str,
+    workload: str,
+    served: list[Request],
+    total_cycles: float,
+    row_hits: int,
+    row_accesses: int,
+    bus_busy: float,
+) -> PerfResult:
+    reads = np.array([r.latency for r in served if not r.is_write], dtype=float)
+    writes = np.array([r.latency for r in served if r.is_write], dtype=float)
+    return PerfResult(
+        scheme=scheme,
+        workload=workload,
+        requests=len(served),
+        read_latency_mean=float(reads.mean()) if reads.size else 0.0,
+        read_latency_p95=float(np.percentile(reads, 95)) if reads.size else 0.0,
+        write_latency_mean=float(writes.mean()) if writes.size else 0.0,
+        total_cycles=total_cycles,
+        throughput=1000.0 * len(served) / total_cycles if total_cycles else 0.0,
+        row_hit_rate=row_hits / row_accesses if row_accesses else 0.0,
+        bus_busy_fraction=bus_busy / total_cycles if total_cycles else 0.0,
+    )

@@ -1,0 +1,163 @@
+"""Trace-driven memory-controller timing simulator.
+
+A single-rank, multi-bank controller with FR-FCFS scheduling (row hits
+first, then oldest) over the bank timing model in :mod:`repro.dram.bank`.
+Scheme behaviour enters exclusively through
+:class:`~repro.dram.timing.SchemeTimingOverlay`:
+
+* extra read CAS latency (all on-die / controller decoders);
+* data-bus burst stretch (DUO's BL16 -> BL17);
+* masked-write RMW bank occupancy (conventional IECC, XED);
+* masked-write controller read-modify-write (DUO: the line must be fetched,
+  merged, re-encoded and written back, costing a real read access).
+
+The simulator is event-timestamped (no per-cycle ticking), which makes a
+six-workload x five-scheme sweep take seconds while preserving the
+queueing interactions the ECC overheads feed into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.bank import BankTimingModel
+from ..dram.timing import DDR5_4800, DramTiming, SchemeTimingOverlay
+from .metrics import PerfResult, summarize
+from .trace import Request
+
+
+@dataclass
+class ControllerConfig:
+    banks: int = 32
+    queue_window: int = 16  # FR-FCFS lookahead
+    timing: DramTiming = DDR5_4800
+    refresh: bool = False  # issue all-bank REF every tREFI
+    record_commands: bool = False  # keep the command stream for checking
+
+
+class MemoryController:
+    """FR-FCFS controller for one rank."""
+
+    def __init__(self, config: ControllerConfig, overlay: SchemeTimingOverlay):
+        self.config = config
+        self.overlay = overlay
+        self.banks = [BankTimingModel(b, config.timing) for b in range(config.banks)]
+        self.bus_free = 0.0
+        self.bus_busy = 0.0
+        self.refreshes = 0
+        self._next_refresh = config.timing.tREFI if config.refresh else float("inf")
+        self.commands: list = []
+
+    def _refresh_once(self) -> None:
+        """Apply one all-bank refresh: precharge everything, block for tRFC."""
+        t = self.config.timing
+        start = self._next_refresh
+        for bank in self.banks:
+            bank.open_row = None
+            floor = start + t.tRFC
+            bank.next_act = max(bank.next_act, floor)
+            bank.next_cas = max(bank.next_cas, floor)
+            bank.next_pre = max(bank.next_pre, floor)
+        self.refreshes += 1
+        self._next_refresh += t.tREFI
+
+    def _refresh_before(self, bank, now: float, row: int) -> None:
+        """Catch up on refresh boundaries the next access would cross.
+
+        Refresh is periodic in *service* time, which can run far ahead of
+        the arrival clock under backlog - so the boundary test uses the
+        access's earliest CAS estimate, not the scheduler clock.
+        """
+        while bank.earliest_cas(now, row) >= self._next_refresh:
+            self._refresh_once()
+
+    def _pick(self, queue: list[Request], now: float) -> int:
+        """FR-FCFS within the lookahead window: row hits first, then oldest."""
+        window = queue[: self.config.queue_window]
+        for idx, req in enumerate(window):
+            bank = self.banks[req.address.bank % self.config.banks]
+            if bank.is_row_hit(req.address.row):
+                return idx
+        return 0
+
+    def _serve(self, req: Request, now: float) -> float:
+        """Issue one request (plus any scheme-induced companion accesses)."""
+        bank = self.banks[req.address.bank % self.config.banks]
+        addr = req.address
+        self._refresh_before(bank, now, addr.row)
+        if req.is_write:
+            if req.is_masked and self.overlay.masked_write_extra_read:
+                # Controller-side RMW: fetch the line first (DUO).
+                read_plan = bank.issue_read(now, addr.row, addr.col, self.overlay, self.bus_free)
+                self._account_bus(read_plan)
+                now = max(now, read_plan.data_end)
+            plan = bank.issue_write(
+                now, addr.row, addr.col, self.overlay, self.bus_free,
+                pays_rmw=self.overlay.write_pays_rmw(req.is_masked),
+            )
+        else:
+            plan = bank.issue_read(now, addr.row, addr.col, self.overlay, self.bus_free)
+        self._account_bus(plan)
+        return plan.data_end
+
+    def _account_bus(self, plan) -> None:
+        self.bus_free = plan.data_end
+        self.bus_busy += plan.data_end - plan.data_start
+        if self.config.record_commands:
+            self.commands.extend(plan.commands)
+
+    def run(self, trace: list[Request]) -> tuple[list[Request], float]:
+        """Serve the whole trace; returns (requests with completions, makespan)."""
+        pending = sorted(trace, key=lambda r: r.arrival)
+        queue: list[Request] = []
+        now = 0.0
+        next_arrival = 0
+        served: list[Request] = []
+        while queue or next_arrival < len(pending):
+            while next_arrival < len(pending) and pending[next_arrival].arrival <= now:
+                queue.append(pending[next_arrival])
+                next_arrival += 1
+            if not queue:
+                now = pending[next_arrival].arrival
+                continue
+            req = queue.pop(self._pick(queue, now))
+            completion = self._serve(req, max(now, req.arrival))
+            req.completion = completion
+            served.append(req)
+            # one controller cycle per scheduling decision
+            now = max(now + 1.0, served[-1].arrival)
+        makespan = max(r.completion for r in served) if served else 0.0
+        return served, makespan
+
+
+def simulate(
+    trace: list[Request],
+    overlay: SchemeTimingOverlay,
+    scheme_name: str = "",
+    workload_name: str = "",
+    config: ControllerConfig | None = None,
+) -> PerfResult:
+    """Run a trace under a scheme overlay and summarise the metrics."""
+    config = config or ControllerConfig()
+    controller = MemoryController(config, overlay)
+    served, makespan = controller.run([Request(**_clone(r)) for r in trace])
+    hits = sum(b.row_hits for b in controller.banks)
+    accesses = hits + sum(b.row_misses + b.row_conflicts for b in controller.banks)
+    return summarize(
+        scheme_name or overlay.name,
+        workload_name,
+        served,
+        makespan,
+        hits,
+        accesses,
+        controller.bus_busy,
+    )
+
+
+def _clone(req: Request) -> dict:
+    return {
+        "arrival": req.arrival,
+        "address": req.address,
+        "is_write": req.is_write,
+        "is_masked": req.is_masked,
+    }

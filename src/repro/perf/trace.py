@@ -1,0 +1,79 @@
+"""Memory request traces for the performance experiments.
+
+A trace is a time-ordered list of :class:`Request` objects at cacheline
+granularity.  The generator produces the synthetic workload families the
+performance figures sweep over (the paper's trace-driven evaluation is
+substituted per DESIGN.md section 8): the knobs that differentiate the ECC
+schemes are the write fraction, the *masked* (sub-line) write fraction, the
+row-buffer locality, and the arrival intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dram.addressing import AddressMapper, DramAddress
+
+
+@dataclass
+class Request:
+    """One cacheline request presented to the memory controller."""
+
+    arrival: float  # controller cycle
+    address: DramAddress
+    is_write: bool = False
+    is_masked: bool = False  # sub-line write (needs RMW on some schemes)
+
+    # filled by the simulator
+    completion: float = field(default=0.0, compare=False)
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Workload-shape knobs for the synthetic generator."""
+
+    name: str = "mixed"
+    requests: int = 20000
+    arrival_rate: float = 0.04  # requests per controller cycle
+    write_fraction: float = 0.3
+    masked_write_fraction: float = 0.5  # fraction of writes that are masked
+    row_locality: float = 0.6  # P(next request reuses the last row)
+    footprint_lines: int = 1 << 20
+    seed: int = 0
+
+
+def generate_trace(config: TraceConfig, mapper: AddressMapper) -> list[Request]:
+    """Generate a synthetic trace with tunable locality and write mix.
+
+    Row locality is produced by a simple hot-pointer process: with
+    probability ``row_locality`` the next request lands in the same row as
+    the previous one (next sequential column), otherwise it jumps to a
+    random line in the footprint.
+    """
+    rng = np.random.default_rng([config.seed, 0x7ACE])
+    footprint = min(config.footprint_lines, mapper.capacity_lines)
+    requests: list[Request] = []
+    now = 0.0
+    line = int(rng.integers(footprint))
+    cols = mapper.cols
+    for _ in range(config.requests):
+        now += rng.exponential(1.0 / config.arrival_rate)
+        if rng.random() < config.row_locality:
+            addr = mapper.decompose(line)
+            addr = DramAddress(addr.bank, addr.row, (addr.col + 1) % cols)
+            line = mapper.compose(addr)
+        else:
+            line = int(rng.integers(footprint))
+            addr = mapper.decompose(line)
+        is_write = rng.random() < config.write_fraction
+        is_masked = is_write and rng.random() < config.masked_write_fraction
+        requests.append(
+            Request(arrival=now, address=addr, is_write=is_write, is_masked=is_masked)
+        )
+    return requests

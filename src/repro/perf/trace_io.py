@@ -1,0 +1,57 @@
+"""Plain-text trace files: bring-your-own-workload support.
+
+Format, one request per line (comments with ``#``)::
+
+    <arrival_cycle> <bank> <row> <col> <op>
+
+where ``op`` is ``R`` (read), ``W`` (full-line write) or ``M`` (masked
+write).  The format is deliberately trivial so traces from any external
+simulator can be converted with a one-liner.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from ..dram.addressing import DramAddress
+from .trace import Request
+
+
+def save_trace(path: str | Path, requests: Iterable[Request]) -> int:
+    """Write requests to a trace file; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write("# arrival bank row col op(R/W/M)\n")
+        for req in requests:
+            op = "M" if req.is_masked else ("W" if req.is_write else "R")
+            addr = req.address
+            handle.write(f"{req.arrival:.3f} {addr.bank} {addr.row} {addr.col} {op}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[Request]:
+    """Parse a trace file back into requests (sorted by arrival)."""
+    requests: list[Request] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(f"{path}:{lineno}: expected 5 fields, got {len(parts)}")
+            arrival, bank, row, col, op = parts
+            if op not in ("R", "W", "M"):
+                raise ValueError(f"{path}:{lineno}: unknown op {op!r}")
+            requests.append(
+                Request(
+                    arrival=float(arrival),
+                    address=DramAddress(int(bank), int(row), int(col)),
+                    is_write=op in ("W", "M"),
+                    is_masked=op == "M",
+                )
+            )
+    requests.sort(key=lambda r: r.arrival)
+    return requests

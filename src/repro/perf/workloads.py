@@ -1,0 +1,53 @@
+"""The workload suite used by the performance figures (F5/F6).
+
+Six synthetic workload families standing in for the paper's benchmark
+traces (substitution documented in DESIGN.md section 8).  They span the
+dimensions that separate the schemes:
+
+* read-heavy vs write-heavy (masked-write RMW exposure: XED, IECC);
+* streaming vs random (bus occupancy exposure: DUO's BL stretch);
+* masked-write intensity (DUO's controller-side RMW).
+"""
+
+from __future__ import annotations
+
+from .trace import TraceConfig
+
+WORKLOADS: dict[str, TraceConfig] = {
+    # sequential reads, long row bursts - bandwidth bound
+    "stream-read": TraceConfig(
+        name="stream-read", write_fraction=0.02, masked_write_fraction=0.02,
+        row_locality=0.95, arrival_rate=0.13,
+    ),
+    # copy-like: half writes (eviction writebacks), streaming
+    "stream-copy": TraceConfig(
+        name="stream-copy", write_fraction=0.5, masked_write_fraction=0.02,
+        row_locality=0.9, arrival_rate=0.11,
+    ),
+    # latency-sensitive random reads
+    "random-read": TraceConfig(
+        name="random-read", write_fraction=0.05, masked_write_fraction=0.05,
+        row_locality=0.1, arrival_rate=0.03,
+    ),
+    # transactional mix: moderate writes, some partial-line updates
+    "oltp-mix": TraceConfig(
+        name="oltp-mix", write_fraction=0.35, masked_write_fraction=0.08,
+        row_locality=0.4, arrival_rate=0.055,
+    ),
+    # write-dominated with small in-place updates (logging / metadata)
+    "write-heavy": TraceConfig(
+        name="write-heavy", write_fraction=0.6, masked_write_fraction=0.1,
+        row_locality=0.5, arrival_rate=0.065,
+    ),
+    # balanced general-purpose mix
+    "balanced": TraceConfig(
+        name="balanced", write_fraction=0.3, masked_write_fraction=0.05,
+        row_locality=0.6, arrival_rate=0.055,
+    ),
+}
+
+
+def workload(name: str) -> TraceConfig:
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; have {sorted(WORKLOADS)}")
+    return WORKLOADS[name]

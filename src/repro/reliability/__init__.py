@@ -1,0 +1,55 @@
+"""Reliability engines: exact Monte Carlo and semi-analytic models."""
+
+from .analytic import (
+    ConventionalIeccModel,
+    DuoModel,
+    NoEccModel,
+    PairModel,
+    RankSecDedModel,
+    ReliabilityModel,
+    XedModel,
+    build_model,
+)
+from .conditional import WordConditionals, measure_bit_code, measure_symbol_code
+from .exact import ExactRunConfig, run_burst_lengths, run_iid, run_single_fault
+from .fastmc import FastMcResult, run_fast, run_fast_duo, run_fast_pair
+from .fit import AccessProfile, events_per_device_year, fit_rate, relative_reliability
+from .outcomes import Outcome, Tally, classify
+from .stats import at_least_one, binom_pmf, binom_tail, wilson_interval
+from .system import STRUCTURED, SystemReliability, evaluate_system
+
+__all__ = [
+    "Outcome",
+    "Tally",
+    "classify",
+    "ExactRunConfig",
+    "run_iid",
+    "run_single_fault",
+    "run_burst_lengths",
+    "ReliabilityModel",
+    "build_model",
+    "NoEccModel",
+    "ConventionalIeccModel",
+    "XedModel",
+    "DuoModel",
+    "PairModel",
+    "RankSecDedModel",
+    "WordConditionals",
+    "measure_bit_code",
+    "measure_symbol_code",
+    "FastMcResult",
+    "run_fast",
+    "run_fast_pair",
+    "run_fast_duo",
+    "AccessProfile",
+    "events_per_device_year",
+    "fit_rate",
+    "relative_reliability",
+    "binom_pmf",
+    "binom_tail",
+    "wilson_interval",
+    "at_least_one",
+    "SystemReliability",
+    "evaluate_system",
+    "STRUCTURED",
+]

@@ -1,0 +1,206 @@
+"""Decoder-in-the-loop Monte-Carlo reliability engine.
+
+This engine runs the *real* datapath: fault overlays on real devices, real
+gather/decode/reconstruct logic, classification against known data.  It is
+the ground truth the semi-analytic engine (:mod:`repro.reliability.analytic`)
+is validated against, and the workhorse for structured-fault and burst
+experiments where correlations matter.
+
+Because every scheme here is linear, the all-zero line is a valid encoded
+state of every scheme (encode(0) = 0), so trials run against zero-filled
+devices and the observed error process is exactly the fault process - no
+per-trial write traffic is needed.  A dedicated test suite verifies the
+write path separately with random data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dram.device import DramDevice
+from ..faults.rates import FaultRates
+from ..faults.sampler import FaultOverlay
+from ..faults.types import FaultInstance, FaultType, TransferBurst
+from ..schemes.base import EccScheme
+from .outcomes import Outcome, Tally, classify
+
+
+@dataclass
+class ExactRunConfig:
+    """Parameters of one Monte-Carlo run."""
+
+    trials: int = 1000
+    seed: int = 0
+    rows_per_trial: int = 1
+    resample_faults_every: int = 1  # new fault universe every N trials
+
+
+def _zero_line(scheme: EccScheme) -> np.ndarray:
+    return np.zeros(scheme._line_shape(), dtype=np.uint8)
+
+
+def _make_chips(scheme: EccScheme, rates: FaultRates, seed: int,
+                faults_per_chip: list[list[FaultInstance]] | None = None) -> list[DramDevice]:
+    overlays = []
+    for chip_idx in range(scheme.rank.chips):
+        forced = None if faults_per_chip is None else faults_per_chip[chip_idx]
+        overlays.append(
+            FaultOverlay(
+                scheme.rank.device,
+                rates,
+                seed=seed * 1009 + chip_idx,
+                faults=forced,
+            )
+        )
+    return scheme.make_devices(overlays)
+
+
+def run_iid(scheme: EccScheme, rates: FaultRates, config: ExactRunConfig) -> Tally:
+    """Monte-Carlo over random accesses under the full fault process.
+
+    Each trial reads one random line of a fresh fault universe; classification
+    is against the all-zero expected line.
+    """
+    rng = np.random.default_rng([config.seed, 0xE4AC7])
+    device = scheme.rank.device
+    tally = Tally()
+    expected = _zero_line(scheme)
+    chips = None
+    for trial in range(config.trials):
+        if chips is None or trial % config.resample_faults_every == 0:
+            chips = _make_chips(scheme, rates, seed=config.seed + trial)
+        bank = int(rng.integers(device.banks))
+        row = int(rng.integers(device.rows_per_bank))
+        col = int(rng.integers(device.columns_per_row))
+        result = scheme.read_line(chips, bank, row, col)
+        tally.add(classify(result, expected))
+    return tally
+
+
+def run_single_fault(
+    scheme: EccScheme,
+    kind: FaultType,
+    rates: FaultRates,
+    config: ExactRunConfig,
+) -> Tally:
+    """Outcome distribution *given* one structured fault under the access.
+
+    Plants exactly one fault of ``kind`` in chip 0 so that its footprint
+    intersects the read location, then classifies the read.  This isolates
+    each fault class's per-event severity (experiment F3); combining with
+    occurrence rates is done by the bench.
+    """
+    rng = np.random.default_rng([config.seed, 0xFA3])
+    device = scheme.rank.device
+    tally = Tally()
+    expected = _zero_line(scheme)
+    clean = rates.with_ber(0.0)
+    total_bits = device.data_bits_per_pin_per_row + device.spare_bits_per_pin_per_row
+    for trial in range(config.trials):
+        bank, row, col = 0, 64, int(rng.integers(device.columns_per_row))
+        fault = _plant_fault(kind, rates, device, row, col, total_bits, rng)
+        faults_per_chip: list[list[FaultInstance]] = [[] for _ in range(scheme.rank.chips)]
+        faults_per_chip[0] = [fault]
+        chips = _make_chips(
+            scheme, clean, seed=config.seed * 7919 + trial, faults_per_chip=faults_per_chip
+        )
+        if kind is FaultType.TRANSFER_BURST:
+            burst = TransferBurst(
+                pin=int(rng.integers(device.pins)),
+                beat_start=int(
+                    rng.integers(device.burst_length - min(rates.transfer_burst_length, device.burst_length) + 1)
+                ),
+                length=min(rates.transfer_burst_length, device.burst_length),
+            )
+            result = scheme.read_line(chips, bank, row, col, bursts={0: burst})
+        else:
+            result = scheme.read_line(chips, bank, row, col)
+        tally.add(classify(result, expected))
+    return tally
+
+
+def _plant_fault(
+    kind: FaultType,
+    rates: FaultRates,
+    device,
+    row: int,
+    col: int,
+    total_bits: int,
+    rng: np.random.Generator,
+) -> FaultInstance:
+    """One fault instance of ``kind`` guaranteed to cover (row, col)."""
+    bl = device.burst_length
+    if kind is FaultType.ROW:
+        return FaultInstance(
+            kind, bank=0, row_start=row, row_count=1, pin=-1,
+            bit_start=0, bit_count=total_bits, density=rates.row_density,
+        )
+    if kind is FaultType.COLUMN:
+        # a bitline crossing the accessed window
+        offset = col * bl + int(rng.integers(bl))
+        return FaultInstance(
+            kind, bank=0, row_start=0, row_count=device.rows_per_bank,
+            pin=int(rng.integers(device.pins)), bit_start=offset, bit_count=1,
+            density=rates.column_density,
+        )
+    if kind is FaultType.PIN_LINE:
+        return FaultInstance(
+            kind, bank=0, row_start=0, row_count=device.rows_per_bank,
+            pin=int(rng.integers(device.pins)), bit_start=0, bit_count=total_bits,
+            density=rates.pin_density,
+        )
+    if kind is FaultType.MAT:
+        bits = min(rates.mat_bits, total_bits)
+        start = col * bl  # anchor the mat on the accessed window
+        start = min(start, total_bits - bits)
+        return FaultInstance(
+            kind, bank=0, row_start=row, row_count=rates.mat_rows,
+            pin=int(rng.integers(device.pins)), bit_start=start, bit_count=bits,
+            density=rates.mat_density,
+        )
+    if kind is FaultType.TRANSFER_BURST:
+        # burst injected at read time; plant a no-op fault far away
+        return FaultInstance(
+            FaultType.MAT, bank=device.banks - 1, row_start=0, row_count=1,
+            pin=0, bit_start=0, bit_count=1, density=0.0,
+        )
+    raise ValueError(f"cannot plant fault kind {kind}")
+
+
+def run_burst_lengths(
+    scheme: EccScheme,
+    lengths: list[int],
+    config: ExactRunConfig,
+) -> dict[int, Tally]:
+    """Correction coverage of write-path transfer bursts (experiment F4).
+
+    For each burst length, injects a burst on a random pin of chip 0 (no
+    other faults) and classifies the read.
+    """
+    device = scheme.rank.device
+    out: dict[int, Tally] = {}
+    expected = _zero_line(scheme)
+    clean = FaultRates(
+        single_cell_ber=0.0, row_faults_per_device=0.0, column_faults_per_device=0.0,
+        pin_faults_per_device=0.0, mat_faults_per_device=0.0,
+        transfer_burst_per_access=0.0,
+    )
+    for length in lengths:
+        rng = np.random.default_rng([config.seed, 0xB0057, length])
+        tally = Tally()
+        length_eff = min(length, device.burst_length)
+        chips = _make_chips(scheme, clean, seed=config.seed)
+        for trial in range(config.trials):
+            bank, row = 0, int(rng.integers(device.rows_per_bank))
+            col = int(rng.integers(device.columns_per_row))
+            burst = TransferBurst(
+                pin=int(rng.integers(device.pins)),
+                beat_start=int(rng.integers(device.burst_length - length_eff + 1)),
+                length=length_eff,
+            )
+            result = scheme.read_line(chips, bank, row, col, bursts={0: burst})
+            tally.add(classify(result, expected))
+        out[length] = tally
+    return out

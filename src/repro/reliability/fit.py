@@ -1,0 +1,53 @@
+"""Scaling per-access probabilities to system-level reliability metrics.
+
+The paper reports relative reliability ("10^6 times higher"); these helpers
+turn per-line-read probabilities into the standard absolute units so the
+benches can also print FIT-style numbers for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOURS_PER_YEAR = 24 * 365.25
+NS_PER_HOUR = 3600e9
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """How hard the memory system is being driven."""
+
+    reads_per_second: float = 1e8  # ~6.4 GB/s of demand misses at 64B
+    device_years: float = 1.0
+
+    @property
+    def reads_per_device_year(self) -> float:
+        return self.reads_per_second * 3600 * HOURS_PER_YEAR
+
+
+def events_per_device_year(p_per_read: float, profile: AccessProfile | None = None) -> float:
+    """Expected failure events per device-year at the given read rate.
+
+    Uses the expectation (not 1-exp) because the paper's comparisons are of
+    rates; for tiny p the two coincide.
+    """
+    profile = profile or AccessProfile()
+    return p_per_read * profile.reads_per_device_year
+
+
+def fit_rate(p_per_read: float, profile: AccessProfile | None = None) -> float:
+    """Failures in time (failures per 10^9 device-hours)."""
+    profile = profile or AccessProfile()
+    events_per_hour = p_per_read * profile.reads_per_second * 3600
+    return events_per_hour * 1e9
+
+
+def relative_reliability(p_baseline: float, p_scheme: float) -> float:
+    """How many times *more reliable* the scheme is than the baseline.
+
+    This is the paper's headline metric: ratio of failure probabilities.
+    Returns inf when the scheme recorded zero failures.
+    """
+    if p_scheme <= 0:
+        return float("inf")
+    return p_baseline / p_scheme

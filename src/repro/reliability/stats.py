@@ -1,0 +1,64 @@
+"""Small statistics helpers shared by the reliability engines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def binom_pmf(n: int, j: np.ndarray | int, p: float) -> np.ndarray | float:
+    """Exact binomial pmf via log-gamma (stable for tiny p, large n)."""
+    scalar = np.isscalar(j)
+    j = np.atleast_1d(np.asarray(j, dtype=np.int64))
+    out = np.zeros(j.shape, dtype=float)
+    if p <= 0.0:
+        out[j == 0] = 1.0
+    elif p >= 1.0:
+        out[j == n] = 1.0
+    else:
+        valid = (j >= 0) & (j <= n)
+        jv = j[valid]
+        log_pmf = (
+            _lgamma(n + 1)
+            - _lgamma_arr(jv + 1)
+            - _lgamma_arr(n - jv + 1)
+            + jv * math.log(p)
+            + (n - jv) * math.log1p(-p)
+        )
+        out[valid] = np.exp(log_pmf)
+    return float(out[0]) if scalar else out
+
+
+def _lgamma(x: float) -> float:
+    return math.lgamma(x)
+
+
+def _lgamma_arr(x: np.ndarray) -> np.ndarray:
+    return np.vectorize(math.lgamma, otypes=[float])(x)
+
+
+def binom_tail(n: int, j_min: int, p: float) -> float:
+    """P(X >= j_min) for X ~ Binomial(n, p), summed exactly up to n."""
+    if j_min <= 0:
+        return 1.0
+    js = np.arange(j_min, n + 1)
+    return float(binom_pmf(n, js, p).sum())
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials == 0:
+        return (0.0, 1.0)
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    return ((centre - margin) / denom, (centre + margin) / denom)
+
+
+def at_least_one(p_single: float, count: int) -> float:
+    """P(at least one of ``count`` independent events), numerically careful."""
+    if p_single <= 0:
+        return 0.0
+    return -math.expm1(count * math.log1p(-min(p_single, 1.0)))

@@ -1,0 +1,129 @@
+"""Scheme interface: a full read/write datapath over a rank of devices.
+
+An :class:`EccScheme` owns the codeword layout inside each chip (and across
+chips, for rank-level schemes), the encode path taken by writes and the
+decode path taken by reads.  The reliability engines drive schemes through
+:meth:`write_line` / :meth:`read_line`; the performance engine only consumes
+:attr:`timing_overlay`.
+
+Data conventions
+----------------
+A *line* is one rank access: ``(data_chips, pins, burst_length)`` bits.
+``read_line`` returns a :class:`LineReadResult`: the bits the controller
+would hand to the CPU plus the scheme's belief about them.  Whether that
+belief is justified (miscorrection vs real correction) is judged by the
+caller, who knows what was written.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dram.config import RankConfig
+from ..dram.device import DramDevice
+from ..dram.timing import SchemeTimingOverlay
+from ..faults.types import TransferBurst
+
+
+@dataclass
+class LineReadResult:
+    """Outcome of reading one line through a scheme's datapath."""
+
+    data: np.ndarray  # (data_chips, pins, burst_length) bits
+    believed_good: bool  # scheme claims the data is correct
+    corrections: int = 0  # symbols/bits the scheme corrected
+
+    @property
+    def detected_uncorrectable(self) -> bool:
+        return not self.believed_good
+
+
+class EccScheme(abc.ABC):
+    """A complete ECC datapath over one rank."""
+
+    #: short identifier used in tables and series labels
+    name: str = "abstract"
+
+    def __init__(self, rank: RankConfig):
+        self.rank = rank
+
+    # -- structural metadata -------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def timing_overlay(self) -> SchemeTimingOverlay:
+        """Timing perturbations this scheme imposes on the datapath."""
+
+    @property
+    @abc.abstractmethod
+    def storage_overhead(self) -> float:
+        """In-DRAM redundancy storage relative to data capacity."""
+
+    @property
+    def chip_overhead(self) -> float:
+        """Extra rank-level chips relative to data chips."""
+        return self.rank.ecc_chips / self.rank.data_chips
+
+    def description(self) -> dict[str, object]:
+        """Configuration row for the T1 table."""
+        return {
+            "scheme": self.name,
+            "storage_overhead": self.storage_overhead,
+            "chip_overhead": self.chip_overhead,
+            "read_latency_cycles": self.timing_overlay.read_latency_cycles,
+            "burst_stretch": self.timing_overlay.burst_stretch,
+            "masked_write_rmw_cycles": self.timing_overlay.write_rmw_cycles,
+        }
+
+    # -- datapath -------------------------------------------------------------
+
+    def make_devices(self, overlays=None) -> list[DramDevice]:
+        """Instantiate the rank's chips, optionally with fault overlays."""
+        overlays = overlays or [None] * self.rank.chips
+        if len(overlays) != self.rank.chips:
+            raise ValueError(f"expected {self.rank.chips} overlays")
+        return [DramDevice(self.rank.device, ov) for ov in overlays]
+
+    @abc.abstractmethod
+    def write_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
+        """Encode and store one line (shape ``(data_chips, pins, BL)``)."""
+
+    @abc.abstractmethod
+    def read_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        bursts: dict[int, TransferBurst] | None = None,
+    ) -> LineReadResult:
+        """Fetch one line through the full decode path.
+
+        ``bursts`` optionally injects a write-path transfer burst per chip
+        index (stored corrupted; see DESIGN.md on burst errors).
+        """
+
+    @property
+    def line_shape(self) -> tuple[int, int, int]:
+        """Shape of one line: ``(data_chips, pins, burst_length)``."""
+        device = self.rank.device
+        return (self.rank.data_chips, device.pins, device.burst_length)
+
+    def _line_shape(self) -> tuple[int, int, int]:
+        return self.line_shape
+
+    def _check_line(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint8) & 1
+        if data.shape != self._line_shape():
+            raise ValueError(f"expected line shape {self._line_shape()}, got {data.shape}")
+        return data

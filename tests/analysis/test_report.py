@@ -1,0 +1,45 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import ReportConfig, generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # quick settings: structure is under test, not statistics
+    return generate_report(ReportConfig(quick=True))
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "# PAIR reproduction",
+            "## Scheme configurations (T1)",
+            "## Reliability vs weak-cell BER (F2)",
+            "## Performance (F5)",
+            "## Burst survival (F4)",
+            "## Implementation overheads (T2)",
+            "## Energy per access (T3)",
+            "## Scaling headroom: max tolerable BER (F9)",
+        ):
+            assert heading in report_text, heading
+
+    def test_every_scheme_appears(self, report_text):
+        for name in ("no-ecc", "iecc-sec", "xed", "duo", "pair"):
+            assert name in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        lines = report_text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|---"):
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|"), header
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        import repro.analysis.report as report_mod
+
+        monkeypatch.setattr(report_mod, "generate_report", lambda config=None: "# stub\n")
+        path = tmp_path / "out.md"
+        assert write_report(str(path)) == str(path)
+        assert path.read_text() == "# stub\n"

@@ -1,0 +1,66 @@
+"""Tests for table/series formatting and sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    banner,
+    format_series,
+    format_table,
+    geomean,
+    log_space,
+    normalize_to,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_float_rendering(self):
+        text = format_table([{"v": 1.23456e-9}])
+        assert "1.235e-09" in text
+
+    def test_bool_and_none(self):
+        text = format_table([{"x": True, "y": None}])
+        assert "yes" in text and "-" in text
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series("p", [1e-5, 1e-4], {"pair": [1, 2], "xed": [3, 4]})
+        assert "pair" in text and "xed" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestSweepHelpers:
+    def test_log_space_endpoints(self):
+        xs = log_space(1e-7, 1e-3, 5)
+        assert xs[0] == pytest.approx(1e-7)
+        assert xs[-1] == pytest.approx(1e-3)
+        assert len(xs) == 5
+
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10)
+        assert np.isnan(geomean([]))
+        assert np.isnan(geomean([1, 0]))
+
+    def test_normalize_to(self):
+        results = {"w1": {"a": 2.0, "b": 4.0}}
+        normed = normalize_to(results, "a")
+        assert normed["w1"]["a"] == 1.0
+        assert normed["w1"]["b"] == 2.0
+
+    def test_banner(self):
+        assert "TITLE" in banner("TITLE")

@@ -1,0 +1,51 @@
+"""Tests for the XOR parity (RAID-3) substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import XorParity
+
+
+class TestXorParity:
+    def test_rejects_single_lane(self):
+        with pytest.raises(ValueError):
+            XorParity(1)
+
+    def test_parity_of_zeros_is_zero(self):
+        p = XorParity(4)
+        lanes = np.zeros((4, 16), dtype=np.uint8)
+        assert not p.parity(lanes).any()
+
+    def test_lane_count_enforced(self):
+        p = XorParity(4)
+        with pytest.raises(ValueError):
+            p.parity(np.zeros((3, 16), dtype=np.uint8))
+
+    def test_check(self):
+        rng = np.random.default_rng(0)
+        p = XorParity(4)
+        lanes = rng.integers(0, 2, (4, 32)).astype(np.uint8)
+        parity = p.parity(lanes)
+        assert p.check(lanes, parity)
+        lanes[2, 5] ^= 1
+        assert not p.check(lanes, parity)
+
+    @given(st.integers(0, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruct_any_lane(self, missing, seed):
+        rng = np.random.default_rng(seed)
+        p = XorParity(4)
+        lanes = rng.integers(0, 2, (4, 64)).astype(np.uint8)
+        parity = p.parity(lanes)
+        corrupted = lanes.copy()
+        corrupted[missing] = rng.integers(0, 2, 64)
+        rebuilt = p.reconstruct(corrupted, parity, missing)
+        assert np.array_equal(rebuilt, lanes[missing])
+
+    def test_reconstruct_bounds(self):
+        p = XorParity(4)
+        lanes = np.zeros((4, 8), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            p.reconstruct(lanes, np.zeros(8, dtype=np.uint8), 4)

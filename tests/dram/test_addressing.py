@@ -1,0 +1,55 @@
+"""Tests for address decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import AddressMapper, DramAddress, Interleave, RANK_X8_5CHIP
+
+
+@pytest.fixture(params=[Interleave.ROW_LOCAL, Interleave.BANK_ROTATE])
+def mapper(request):
+    return AddressMapper(RANK_X8_5CHIP, interleave=request.param)
+
+
+class TestMapper:
+    def test_capacity(self):
+        m = AddressMapper(RANK_X8_5CHIP)
+        d = RANK_X8_5CHIP.device
+        assert m.capacity_lines == d.banks * d.rows_per_bank * d.columns_per_row
+
+    def test_bounds(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decompose(-1)
+        with pytest.raises(ValueError):
+            mapper.decompose(mapper.capacity_lines)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, line):
+        for il in Interleave:
+            m = AddressMapper(RANK_X8_5CHIP, interleave=il)
+            line_mod = line % m.capacity_lines
+            addr = m.decompose(line_mod)
+            assert 0 <= addr.bank < m.banks
+            assert 0 <= addr.row < m.rows
+            assert 0 <= addr.col < m.cols
+            assert m.compose(addr) == line_mod
+
+    def test_row_local_keeps_rows_together(self):
+        m = AddressMapper(RANK_X8_5CHIP, interleave=Interleave.ROW_LOCAL)
+        a0 = m.decompose(0)
+        a1 = m.decompose(1)
+        assert a0.same_row(a1)
+        assert a1.col == a0.col + 1
+
+    def test_bank_rotate_spreads_banks(self):
+        m = AddressMapper(RANK_X8_5CHIP, interleave=Interleave.BANK_ROTATE)
+        banks = {m.decompose(i).bank for i in range(m.banks)}
+        assert len(banks) == m.banks
+
+    def test_same_row_predicate(self):
+        a = DramAddress(1, 2, 3)
+        assert a.same_row(DramAddress(1, 2, 9))
+        assert not a.same_row(DramAddress(1, 3, 3))
+        assert not a.same_row(DramAddress(0, 2, 3))

@@ -1,0 +1,120 @@
+"""Tests for the bank timing state machine."""
+
+import pytest
+
+from repro.dram import BankTimingModel, DDR5_4800, SchemeTimingOverlay
+
+NONE = SchemeTimingOverlay()
+
+
+@pytest.fixture
+def bank():
+    return BankTimingModel(0, DDR5_4800)
+
+
+class TestReads:
+    def test_cold_read_latency(self, bank):
+        t = DDR5_4800
+        plan = bank.issue_read(0.0, row=5, col=0, overlay=NONE, bus_free=0.0)
+        assert plan.data_start == t.tRCD + t.cl
+        assert plan.data_end == plan.data_start + t.tBURST
+        assert bank.row_misses == 1
+
+    def test_row_hit_is_faster(self, bank):
+        first = bank.issue_read(0.0, 5, 0, NONE, 0.0)
+        second = bank.issue_read(first.data_end, 5, 1, NONE, first.data_end)
+        assert bank.row_hits == 1
+        # hit: no ACT, just CAS latency from issue
+        assert second.data_start - first.data_end <= DDR5_4800.cl + DDR5_4800.tBURST
+
+    def test_row_conflict_pays_precharge(self, bank):
+        t = DDR5_4800
+        first = bank.issue_read(0.0, 5, 0, NONE, 0.0)
+        conflict = bank.issue_read(first.data_end, 6, 0, NONE, first.data_end)
+        assert bank.row_conflicts == 1
+        # must wait tRAS before PRE, then tRP + tRCD + CL
+        assert conflict.data_start >= t.tRAS + t.tRP + t.tRCD + t.cl
+
+    def test_extra_read_latency_overlay(self, bank):
+        slow = SchemeTimingOverlay(read_latency_cycles=6)
+        plan = bank.issue_read(0.0, 5, 0, slow, 0.0)
+        base = BankTimingModel(1, DDR5_4800).issue_read(0.0, 5, 0, NONE, 0.0)
+        assert plan.data_start == base.data_start + 6
+
+    def test_burst_stretch_occupies_bus_longer(self, bank):
+        stretched = SchemeTimingOverlay(burst_stretch=17 / 16)
+        plan = bank.issue_read(0.0, 5, 0, stretched, 0.0)
+        assert plan.data_end - plan.data_start == pytest.approx(8 * 17 / 16)
+
+    def test_bus_contention_delays_data(self, bank):
+        plan = bank.issue_read(0.0, 5, 0, NONE, bus_free=10_000.0)
+        assert plan.data_start == 10_000.0
+
+    def test_consecutive_reads_respect_tccd(self, bank):
+        p1 = bank.issue_read(0.0, 5, 0, NONE, 0.0)
+        p2 = bank.issue_read(0.0, 5, 1, NONE, 0.0)
+        assert p2.cas_cycle - p1.cas_cycle >= DDR5_4800.tCCD
+
+
+class TestWrites:
+    def test_write_uses_cwl(self, bank):
+        t = DDR5_4800
+        plan = bank.issue_write(0.0, 5, 0, NONE, 0.0, pays_rmw=False)
+        assert plan.data_start == t.tRCD + t.cwl
+
+    def test_rmw_extends_bank_occupancy(self):
+        t = DDR5_4800
+        overlay = SchemeTimingOverlay(write_rmw_cycles=20)
+        plain = BankTimingModel(0, t)
+        rmw = BankTimingModel(1, t)
+        plain.issue_write(0.0, 5, 0, overlay, 0.0, pays_rmw=False)
+        rmw.issue_write(0.0, 5, 0, overlay, 0.0, pays_rmw=True)
+        assert rmw.next_cas == plain.next_cas + 20
+        assert rmw.next_pre == plain.next_pre + 20
+
+    def test_write_recovery_delays_precharge(self, bank):
+        t = DDR5_4800
+        plan = bank.issue_write(0.0, 5, 0, NONE, 0.0, pays_rmw=False)
+        assert bank.next_pre >= plan.data_end + t.tWR
+
+
+class TestOverlayHelpers:
+    def test_write_pays_rmw_logic(self):
+        masked_only = SchemeTimingOverlay(write_rmw_cycles=10)
+        assert masked_only.write_pays_rmw(True)
+        assert not masked_only.write_pays_rmw(False)
+        always = SchemeTimingOverlay(write_rmw_cycles=10, rmw_on_all_writes=True)
+        assert always.write_pays_rmw(False)
+        none = SchemeTimingOverlay()
+        assert not none.write_pays_rmw(True)
+
+    def test_timing_ns_conversion(self):
+        assert DDR5_4800.ns(10) == pytest.approx(4.17)
+
+
+class TestGenerationPresets:
+    def test_ddr4_preset_consistency(self):
+        from repro.dram import DDR4_3200
+
+        t = DDR4_3200
+        assert t.tRC >= t.tRAS + t.tRP
+        assert t.tBURST == 4  # BL8 at DDR
+        # absolute first-access latency is similar across generations
+        ddr4_ns = t.ns(t.tRCD + t.cl + t.tBURST)
+        ddr5_ns = DDR5_4800.ns(DDR5_4800.tRCD + DDR5_4800.cl + DDR5_4800.tBURST)
+        assert ddr4_ns == pytest.approx(ddr5_ns, rel=0.25)
+
+    def test_controller_runs_on_ddr4(self):
+        from repro.dram import DDR4_3200
+        from repro.perf import ControllerConfig, MemoryController
+        from repro.perf.trace import Request
+        from repro.dram import DramAddress, SchemeTimingOverlay
+
+        controller = MemoryController(
+            ControllerConfig(timing=DDR4_3200), SchemeTimingOverlay()
+        )
+        served, _ = controller.run(
+            [Request(0.0, DramAddress(0, 5, c)) for c in range(4)]
+        )
+        assert len(served) == 4
+        assert served[0].latency == DDR4_3200.tRCD + DDR4_3200.cl + DDR4_3200.tBURST

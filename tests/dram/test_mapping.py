@@ -1,0 +1,187 @@
+"""Tests for codeword-to-geometry layouts."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (
+    DDR5_X4,
+    DDR5_X8,
+    DDR5_X16,
+    BeatAlignedLayout,
+    PinAlignedLayout,
+    SecWordLayout,
+)
+
+
+def fresh_row(device):
+    total = device.data_bits_per_pin_per_row + device.spare_bits_per_pin_per_row
+    return np.zeros((device.pins, total), dtype=np.uint8)
+
+
+class TestPinAlignedLayout:
+    def test_default_tiling(self):
+        layout = PinAlignedLayout(DDR5_X8)
+        assert layout.segments_per_pin == 4
+        assert layout.num_codewords == 32
+        assert layout.n == 256
+
+    def test_no_overlap(self):
+        PinAlignedLayout(DDR5_X8).check()
+
+    def test_codeword_confined_to_one_pin(self):
+        layout = PinAlignedLayout(DDR5_X8)
+        for cw in range(layout.num_codewords):
+            pins = np.unique(layout._pin_index[cw])
+            assert pins.size == 1
+
+    def test_gather_scatter_roundtrip(self):
+        rng = np.random.default_rng(0)
+        layout = PinAlignedLayout(DDR5_X8)
+        row = fresh_row(DDR5_X8)
+        symbols = rng.integers(0, 256, layout.n)
+        layout.scatter(row, 5, symbols)
+        assert np.array_equal(layout.gather(row, 5), symbols)
+
+    def test_scatter_does_not_touch_other_codewords(self):
+        rng = np.random.default_rng(1)
+        layout = PinAlignedLayout(DDR5_X8)
+        row = fresh_row(DDR5_X8)
+        layout.scatter(row, 3, rng.integers(0, 256, layout.n))
+        for cw in range(layout.num_codewords):
+            if cw != 3:
+                assert not layout.gather(row, cw).any()
+
+    def test_codewords_of_access_one_per_pin(self):
+        layout = PinAlignedLayout(DDR5_X8)
+        cws = layout.codewords_of_access(0)
+        assert len(cws) == 8
+        assert len(set(cws)) == 8
+        # col 120 starts segment 1 (120 * 16 / 1920)
+        assert layout.segment_of_col(119) == 0
+        assert layout.segment_of_col(120) == 1
+
+    def test_data_symbol_range(self):
+        layout = PinAlignedLayout(DDR5_X8)
+        cw = layout.codewords_of_access(0)[0]
+        lo, hi = layout.data_symbol_range_of_access(cw, 0)
+        assert (lo, hi) == (0, 2)  # 16 bits = 2 symbols per pin per access
+        cw = layout.codewords_of_access(121)[0]
+        lo, hi = layout.data_symbol_range_of_access(cw, 121)
+        assert (lo, hi) == (2, 4)
+
+    def test_access_bits_map_to_access_window(self):
+        """The symbols in the access range must be exactly the window bits."""
+        rng = np.random.default_rng(2)
+        device = DDR5_X8
+        layout = PinAlignedLayout(device)
+        row = fresh_row(device)
+        col = 7
+        window = rng.integers(0, 2, (device.pins, device.burst_length)).astype(np.uint8)
+        row[:, col * 16 : (col + 1) * 16] = window
+        for pin, cw in enumerate(layout.codewords_of_access(col)):
+            lo, hi = layout.data_symbol_range_of_access(cw, col)
+            syms = layout.gather(row, cw)[lo:hi]
+            shifts = np.arange(8)
+            bits = ((syms[:, None] >> shifts) & 1).reshape(-1)
+            assert np.array_equal(bits, window[pin])
+
+    def test_x4_and_x16_tile(self):
+        for device in (DDR5_X4, DDR5_X16):
+            layout = PinAlignedLayout(device)
+            layout.check()
+            assert layout.num_codewords == device.pins * layout.segments_per_pin
+
+    def test_rejects_untileable_geometry(self):
+        device = DDR5_X8.scaled(data_bits_per_pin_per_row=7696)
+        with pytest.raises(ValueError):
+            PinAlignedLayout(device)
+
+    def test_rejects_parity_overflow(self):
+        device = DDR5_X8.scaled(spare_bits_per_pin_per_row=256)
+        with pytest.raises(ValueError):
+            PinAlignedLayout(device)
+
+
+class TestBeatAlignedLayout:
+    def test_equal_overhead_with_pin_layout(self):
+        pin = PinAlignedLayout(DDR5_X8)
+        beat = BeatAlignedLayout(DDR5_X8)
+        assert pin.num_codewords == beat.segments
+        assert pin.n == beat.n
+
+    def test_no_overlap(self):
+        BeatAlignedLayout(DDR5_X8).check()
+
+    def test_symbols_span_pins(self):
+        layout = BeatAlignedLayout(DDR5_X8)
+        # every symbol of codeword 0 mixes all 8 pins
+        for sym in range(4):
+            pins = np.unique(layout._pin_index[0, sym])
+            assert pins.size == 8
+
+    def test_gather_scatter_roundtrip(self):
+        rng = np.random.default_rng(3)
+        layout = BeatAlignedLayout(DDR5_X8)
+        row = fresh_row(DDR5_X8)
+        symbols = rng.integers(0, 256, layout.n)
+        layout.scatter(row, 2, symbols)
+        assert np.array_equal(layout.gather(row, 2), symbols)
+
+    def test_one_codeword_per_access(self):
+        layout = BeatAlignedLayout(DDR5_X8)
+        assert len(layout.codewords_of_access(0)) == 1
+        lo, hi = layout.data_symbol_range_of_access(0, 0)
+        assert hi - lo == 16  # 128 access bits = 16 symbols
+
+    def test_pin_burst_smears_across_symbols(self):
+        """The fault-geometry contrast behind ablation F8."""
+        device = DDR5_X8
+        pin_layout = PinAlignedLayout(device)
+        beat_layout = BeatAlignedLayout(device)
+        row = fresh_row(device)
+        row[3, 0:8] = 1  # 8-beat burst on pin 3 in access 0
+        pin_hits = sum(
+            np.count_nonzero(pin_layout.gather(row, cw))
+            for cw in pin_layout.codewords_of_access(0)
+        )
+        beat_hits = np.count_nonzero(beat_layout.gather(row, 0))
+        assert pin_hits == 1  # one symbol of one pin codeword
+        assert beat_hits == 8  # eight symbols of the beat codeword
+
+
+class TestSecWordLayout:
+    def test_dimensions(self):
+        layout = SecWordLayout(DDR5_X8)
+        assert layout.n == 136
+        assert layout.k == 128
+
+    def test_gather_scatter_roundtrip(self):
+        rng = np.random.default_rng(4)
+        layout = SecWordLayout(DDR5_X8)
+        row = fresh_row(DDR5_X8)
+        word = rng.integers(0, 2, 136).astype(np.uint8)
+        layout.scatter(row, 9, word)
+        assert np.array_equal(layout.gather(row, 9), word)
+
+    def test_data_is_beat_major_window(self):
+        layout = SecWordLayout(DDR5_X8)
+        row = fresh_row(DDR5_X8)
+        row[2, 16] = 1  # pin 2, first beat of col 1
+        word = layout.gather(row, 1)
+        assert word[2] == 1  # beat 0 holds pins 0..7 in order
+
+    def test_distinct_cols_use_distinct_parity(self):
+        rng = np.random.default_rng(5)
+        layout = SecWordLayout(DDR5_X8)
+        row = fresh_row(DDR5_X8)
+        w1 = rng.integers(0, 2, 136).astype(np.uint8)
+        w2 = rng.integers(0, 2, 136).astype(np.uint8)
+        layout.scatter(row, 0, w1)
+        layout.scatter(row, 1, w2)
+        assert np.array_equal(layout.gather(row, 0), w1)
+        assert np.array_equal(layout.gather(row, 1), w2)
+
+    def test_rejects_spare_overflow(self):
+        device = DDR5_X8.scaled(spare_bits_per_pin_per_row=32)
+        with pytest.raises(ValueError):
+            SecWordLayout(device)

@@ -1,0 +1,119 @@
+"""Tests for the DRAM protocol checker - and of the controller through it."""
+
+import pytest
+
+from repro.dram import (
+    AddressMapper,
+    Command,
+    DDR5_4800,
+    IssuedCommand,
+    ProtocolChecker,
+    RANK_X8_5CHIP,
+    SchemeTimingOverlay,
+)
+from repro.perf import ControllerConfig, MemoryController, TraceConfig, generate_trace
+from repro.schemes import Duo, PairScheme, Xed
+
+
+def cmd(command, cycle, bank=0, row=0, col=0):
+    return IssuedCommand(command, cycle, bank, row, col)
+
+
+@pytest.fixture
+def checker():
+    return ProtocolChecker(DDR5_4800)
+
+
+class TestRules:
+    def test_legal_sequence_passes(self, checker):
+        t = DDR5_4800
+        stream = [
+            cmd(Command.ACT, 0, row=5),
+            cmd(Command.RD, t.tRCD, row=5, col=0),
+            cmd(Command.RD, t.tRCD + t.tCCD, row=5, col=1),
+            cmd(Command.PRE, t.tRAS, row=5),
+            cmd(Command.ACT, t.tRAS + t.tRP, row=6),
+        ]
+        assert checker.check(stream) == []
+
+    def test_trcd_violation(self, checker):
+        stream = [cmd(Command.ACT, 0, row=5), cmd(Command.RD, 10, row=5)]
+        rules = [v.rule for v in checker.check(stream)]
+        assert "tRCD" in rules
+
+    def test_trp_violation(self, checker):
+        t = DDR5_4800
+        stream = [
+            cmd(Command.ACT, 0, row=5),
+            cmd(Command.PRE, t.tRAS, row=5),
+            cmd(Command.ACT, t.tRAS + 3, row=6),
+        ]
+        rules = [v.rule for v in checker.check(stream)]
+        assert "tRP" in rules
+
+    def test_tras_violation(self, checker):
+        stream = [cmd(Command.ACT, 0, row=5), cmd(Command.PRE, 20, row=5)]
+        rules = [v.rule for v in checker.check(stream)]
+        assert "tRAS" in rules
+
+    def test_cas_to_wrong_row(self, checker):
+        t = DDR5_4800
+        stream = [cmd(Command.ACT, 0, row=5), cmd(Command.RD, t.tRCD, row=6)]
+        rules = [v.rule for v in checker.check(stream)]
+        assert "CAS-wrong-row" in rules
+
+    def test_cas_on_closed_bank(self, checker):
+        rules = [v.rule for v in checker.check([cmd(Command.RD, 100, row=5)])]
+        assert "CAS-on-closed" in rules
+
+    def test_act_on_open_bank(self, checker):
+        t = DDR5_4800
+        stream = [
+            cmd(Command.ACT, 0, row=5),
+            cmd(Command.ACT, t.tRC, row=6),
+        ]
+        rules = [v.rule for v in checker.check(stream)]
+        assert "ACT-on-open" in rules
+
+    def test_tccd_violation(self, checker):
+        t = DDR5_4800
+        stream = [
+            cmd(Command.ACT, 0, row=5),
+            cmd(Command.RD, t.tRCD, row=5, col=0),
+            cmd(Command.RD, t.tRCD + 2, row=5, col=1),
+        ]
+        rules = [v.rule for v in checker.check(stream)]
+        assert "tCCD" in rules
+
+    def test_banks_independent(self, checker):
+        t = DDR5_4800
+        stream = [
+            cmd(Command.ACT, 0, bank=0, row=5),
+            cmd(Command.ACT, 1, bank=1, row=9),
+            cmd(Command.RD, t.tRCD + 1, bank=1, row=9),
+        ]
+        assert checker.check(stream) == []
+
+
+class TestControllerCompliance:
+    """The real point: every simulated workload must be protocol-clean."""
+
+    @pytest.mark.parametrize(
+        "overlay",
+        [SchemeTimingOverlay(), PairScheme().timing_overlay,
+         Xed().timing_overlay, Duo().timing_overlay],
+        ids=["none", "pair", "xed", "duo"],
+    )
+    def test_simulated_streams_are_legal(self, overlay, checker):
+        mapper = AddressMapper(RANK_X8_5CHIP)
+        trace = generate_trace(
+            TraceConfig(requests=2500, arrival_rate=0.08, write_fraction=0.4,
+                        masked_write_fraction=0.3, row_locality=0.5, seed=9),
+            mapper,
+        )
+        controller = MemoryController(
+            ControllerConfig(record_commands=True), overlay
+        )
+        controller.run(trace)
+        violations = checker.check(controller.commands)
+        assert violations == [], violations[:5]

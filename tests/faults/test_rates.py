@@ -1,0 +1,38 @@
+"""Tests for fault-rate configuration."""
+
+import pytest
+
+from repro.faults import DEFAULT_RATES, FaultRates, FaultType
+
+
+class TestFaultRates:
+    def test_with_ber(self):
+        r = DEFAULT_RATES.with_ber(1e-3)
+        assert r.single_cell_ber == 1e-3
+        assert r.row_faults_per_device == DEFAULT_RATES.row_faults_per_device
+
+    @pytest.mark.parametrize("kind", list(FaultType))
+    def test_only_isolates_one_class(self, kind):
+        isolated = DEFAULT_RATES.only(kind)
+        active = {
+            FaultType.SINGLE_CELL: isolated.single_cell_ber,
+            FaultType.ROW: isolated.row_faults_per_device,
+            FaultType.COLUMN: isolated.column_faults_per_device,
+            FaultType.PIN_LINE: isolated.pin_faults_per_device,
+            FaultType.MAT: isolated.mat_faults_per_device,
+            FaultType.TRANSFER_BURST: isolated.transfer_burst_per_access,
+        }
+        for k, value in active.items():
+            if k is kind:
+                assert value > 0, f"{kind} should stay active"
+            else:
+                assert value == 0, f"{k} should be zeroed when isolating {kind}"
+
+    def test_only_preserves_densities(self):
+        isolated = DEFAULT_RATES.only(FaultType.ROW)
+        assert isolated.row_density == DEFAULT_RATES.row_density
+        assert isolated.mat_rows == DEFAULT_RATES.mat_rows
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_RATES.single_cell_ber = 0.5

@@ -1,0 +1,80 @@
+"""Tests for GF(2) linear algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import linalg2
+
+
+def gf2_matrices(max_dim=8):
+    return st.tuples(
+        st.integers(2, max_dim), st.integers(2, max_dim), st.integers(0, 2**31 - 1)
+    ).map(
+        lambda t: np.random.default_rng(t[2]).integers(0, 2, (t[0], t[1])).astype(np.uint8)
+    )
+
+
+class TestRref:
+    def test_identity_is_fixed_point(self):
+        eye = linalg2.identity(4)
+        reduced, pivots = linalg2.rref(eye)
+        assert np.array_equal(reduced, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_zero_matrix(self):
+        reduced, pivots = linalg2.rref(np.zeros((3, 4), dtype=np.uint8))
+        assert pivots == []
+        assert not reduced.any()
+
+    def test_known_rank(self):
+        m = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        # third row = row0 + row1 over GF(2)
+        assert linalg2.rank(m) == 2
+
+    @given(gf2_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_rank_bounded(self, m):
+        r = linalg2.rank(m)
+        assert 0 <= r <= min(m.shape)
+
+
+class TestNullSpace:
+    @given(gf2_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_null_space_vectors_annihilate(self, m):
+        basis = linalg2.null_space(m)
+        assert basis.shape[0] == m.shape[1] - linalg2.rank(m)
+        for v in basis:
+            assert not linalg2.matvec(m, v).any()
+
+    def test_null_space_of_identity_is_empty(self):
+        assert linalg2.null_space(linalg2.identity(5)).shape[0] == 0
+
+
+class TestSolve:
+    @given(gf2_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_solve_consistent_systems(self, m):
+        rng = np.random.default_rng(int(m.sum()) + 1)
+        x_true = rng.integers(0, 2, m.shape[1]).astype(np.uint8)
+        b = linalg2.matvec(m, x_true)
+        x = linalg2.solve(m, b)
+        assert x is not None
+        assert np.array_equal(linalg2.matvec(m, x), b)
+
+    def test_solve_infeasible_returns_none(self):
+        m = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        b = np.array([1, 0], dtype=np.uint8)
+        assert linalg2.solve(m, b) is None
+
+
+class TestMatmul:
+    def test_matmul_mod2(self):
+        a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        assert np.array_equal(linalg2.matmul(a, a), [[1, 0], [0, 1]])
+
+    def test_is_in_span(self):
+        basis = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert linalg2.is_in_span(basis, np.array([1, 1, 0]))
+        assert not linalg2.is_in_span(basis, np.array([1, 1, 1]))

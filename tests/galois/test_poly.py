@@ -1,0 +1,129 @@
+"""Unit and property tests for polynomial arithmetic over GF(2^m)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import GF256, get_field, poly
+
+GF16 = get_field(4)
+
+
+def polys(field, max_len=8):
+    return st.lists(
+        st.integers(min_value=0, max_value=field.order - 1), min_size=1, max_size=max_len
+    ).map(lambda coeffs: np.array(coeffs, dtype=np.int64))
+
+
+class TestBasics:
+    def test_trim(self):
+        assert np.array_equal(poly.trim(np.array([1, 2, 0, 0])), [1, 2])
+        assert np.array_equal(poly.trim(np.array([0, 0])), [0])
+
+    def test_degree(self):
+        assert poly.degree(np.array([0])) == -1
+        assert poly.degree(np.array([5])) == 0
+        assert poly.degree(np.array([0, 0, 3])) == 2
+
+    def test_add_xors_coefficients(self):
+        a = np.array([1, 2, 3])
+        b = np.array([4, 5])
+        assert np.array_equal(poly.add(GF256, a, b), [5, 7, 3])
+
+    def test_add_cancels(self):
+        a = np.array([7, 9, 11])
+        assert poly.is_zero(poly.trim(poly.add(GF256, a, a)))
+
+    def test_scale(self):
+        p = np.array([1, 2, 4])
+        assert np.array_equal(poly.scale(GF256, p, 1), p)
+        assert poly.is_zero(poly.trim(poly.scale(GF256, p, 0)))
+
+    def test_mul_by_one(self):
+        p = np.array([3, 1, 4])
+        assert np.array_equal(poly.trim(poly.mul(GF256, p, np.array([1]))), p)
+
+    def test_mul_x_power(self):
+        p = np.array([5, 6])
+        assert np.array_equal(poly.mul_x_power(p, 2), [0, 0, 5, 6])
+
+    def test_mul_degree_adds(self):
+        a = np.array([1, 1])  # 1 + x
+        b = np.array([2, 0, 1])  # 2 + x^2
+        assert poly.degree(poly.mul(GF256, a, b)) == 3
+
+    def test_evaluate_horner(self):
+        # p(x) = 3 + 2x over GF(256): p(1) = 1
+        p = np.array([3, 2])
+        assert poly.evaluate(GF256, p, 1) == 1
+        assert poly.evaluate(GF256, p, 0) == 3
+
+    def test_evaluate_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        p = rng.integers(0, 256, 6)
+        xs = rng.integers(0, 256, 20)
+        many = poly.evaluate_many(GF256, p, xs)
+        for i, x in enumerate(xs):
+            assert many[i] == poly.evaluate(GF256, p, int(x))
+
+    def test_derivative_char2(self):
+        # d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2
+        p = np.array([9, 7, 5, 3])
+        d = poly.derivative(GF256, p)
+        assert np.array_equal(d, [7, 0, 3])
+
+    def test_derivative_constant_is_zero(self):
+        assert poly.is_zero(poly.derivative(GF256, np.array([42])))
+
+    def test_from_roots(self):
+        roots = [3, 7, 9]
+        p = poly.from_roots(GF256, roots)
+        assert poly.degree(p) == 3
+        for r in roots:
+            assert poly.evaluate(GF256, p, r) == 0
+        # monic
+        assert p[-1] == 1
+
+    def test_divmod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly.divmod_(GF256, np.array([1, 2]), np.array([0]))
+
+    def test_equal_ignores_trailing_zeros(self):
+        assert poly.equal(np.array([1, 2, 0]), np.array([1, 2]))
+        assert not poly.equal(np.array([1, 2]), np.array([1, 3]))
+
+
+class TestDivisionProperties:
+    @given(polys(GF16), polys(GF16))
+    @settings(max_examples=150, deadline=None)
+    def test_divmod_reconstructs(self, a, b):
+        if poly.is_zero(poly.trim(b)):
+            return
+        q, r = poly.divmod_(GF16, a, b)
+        recon = poly.add(GF16, poly.mul(GF16, q, b), r)
+        assert poly.equal(recon, a)
+        assert poly.degree(r) < max(poly.degree(poly.trim(b)), 0) or poly.is_zero(r)
+
+    @given(polys(GF16), polys(GF16))
+    @settings(max_examples=100, deadline=None)
+    def test_mod_is_remainder(self, a, b):
+        if poly.is_zero(poly.trim(b)):
+            return
+        assert poly.equal(poly.mod(GF16, a, b), poly.divmod_(GF16, a, b)[1])
+
+    @given(polys(GF16, 5), polys(GF16, 5), polys(GF16, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_mul_distributes_over_add(self, a, b, c):
+        left = poly.mul(GF16, a, poly.add(GF16, b, c))
+        right = poly.add(GF16, poly.mul(GF16, a, b), poly.mul(GF16, a, c))
+        assert poly.equal(left, right)
+
+    @given(polys(GF16, 5), polys(GF16, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_evaluate_is_ring_hom(self, a, b):
+        x = 7
+        pa = poly.evaluate(GF16, a, x)
+        pb = poly.evaluate(GF16, b, x)
+        assert poly.evaluate(GF16, poly.mul(GF16, a, b), x) == GF16.mul(pa, pb)
+        assert poly.evaluate(GF16, poly.add(GF16, a, b), x) == pa ^ pb

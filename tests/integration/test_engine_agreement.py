@@ -1,0 +1,47 @@
+"""Three-engine agreement: exact datapath MC vs fast symbol MC vs analytic.
+
+The reliability story rests on three implementations of the same question
+("what fraction of reads fail?") with very different mechanics.  At a BER
+where all three have statistics, they must agree.
+"""
+
+import pytest
+
+from repro.faults import FaultRates
+from repro.reliability import (
+    ExactRunConfig,
+    build_model,
+    run_fast,
+    run_iid,
+    wilson_interval,
+)
+from repro.schemes import Duo, PairScheme
+
+
+def iid_rates(ber):
+    return FaultRates(
+        single_cell_ber=ber, row_faults_per_device=0.0, column_faults_per_device=0.0,
+        pin_faults_per_device=0.0, mat_faults_per_device=0.0,
+        transfer_burst_per_access=0.0,
+    )
+
+
+@pytest.mark.parametrize(
+    "scheme_factory,ber",
+    [(PairScheme, 3e-3), (Duo, 1e-2)],
+    ids=["pair", "duo"],
+)
+def test_three_engines_agree_on_due(scheme_factory, ber):
+    scheme = scheme_factory()
+    exact_trials = 300
+    exact = run_iid(scheme, iid_rates(ber), ExactRunConfig(trials=exact_trials, seed=21))
+    fast = run_fast(scheme, ber, trials=50_000, seed=21)
+    analytic = build_model(scheme, samples=300, seed=21).line_probs(ber)["due"]
+
+    lo, hi = wilson_interval(exact.due, exact_trials)
+    # fast and analytic both sit inside (slightly widened) exact confidence
+    slack = 0.03
+    assert lo - slack <= fast.due_rate <= hi + slack
+    assert lo - slack <= analytic <= hi + slack
+    # and fast agrees tightly with analytic (same tables, sampled mixing)
+    assert fast.due_rate == pytest.approx(analytic, rel=0.15)

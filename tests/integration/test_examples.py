@@ -1,0 +1,55 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "corrected 8 symbols" in out
+    assert "detected uncorrectable" in out
+
+
+def test_burst_errors_runs(capsys):
+    run_example("burst_errors")
+    out = capsys.readouterr().out
+    assert "pin-aligned" in out
+
+
+def test_maintenance_loop_runs(capsys):
+    run_example("maintenance_loop")
+    out = capsys.readouterr().out
+    assert "RETIRED" in out
+    assert "after maintenance: ok" in out
+
+
+def test_device_width_study_runs(capsys):
+    run_example("device_width_study")
+    out = capsys.readouterr().out
+    assert "one decoder design" in out
+    assert "ddr5-x16" in out
+
+
+@pytest.mark.slow
+def test_custom_scheme_runs(capsys):
+    run_example("custom_scheme")
+    out = capsys.readouterr().out
+    assert "ext-RS(128,120)" in out

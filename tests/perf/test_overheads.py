@@ -1,0 +1,50 @@
+"""Tests for static overhead accounting (table T2)."""
+
+import pytest
+
+from repro.perf import decoder_multiplier_proxy, overhead_row, transferred_bits_per_read
+from repro.schemes import ConventionalIecc, Duo, NoEcc, PairScheme, Xed, default_schemes
+
+
+class TestTransfer:
+    def test_duo_pays_extra_beat(self):
+        duo = Duo()
+        base = duo.rank.chips * duo.rank.device.access_data_bits
+        assert transferred_bits_per_read(duo) == base + duo.rank.chips * 8
+
+    def test_pair_transfers_no_redundancy(self):
+        pair = PairScheme()
+        assert transferred_bits_per_read(pair) == 4 * 128
+
+    def test_xed_transfers_parity_chip(self):
+        assert transferred_bits_per_read(Xed()) == 5 * 128
+
+
+class TestDecoderProxy:
+    def test_binary_codes_free(self):
+        assert decoder_multiplier_proxy(ConventionalIecc()) == 0
+        assert decoder_multiplier_proxy(NoEcc()) == 0
+
+    def test_pair_counts_parallel_pin_decoders(self):
+        pair = PairScheme()
+        per = 3 * pair.code.t + (pair.code.n - pair.code.k)
+        assert decoder_multiplier_proxy(pair) == per * 8
+
+    def test_duo_single_decoder(self):
+        duo = Duo()
+        assert decoder_multiplier_proxy(duo) == 3 * 6 + 12
+
+
+class TestRows:
+    def test_every_scheme_has_a_row(self):
+        for scheme in default_schemes():
+            row = overhead_row(scheme)
+            assert row["scheme"] == scheme.name
+            assert row["storage_overhead_pct"] >= 0
+            assert row["bits_per_read"] > 0
+
+    def test_pair_storage_slightly_above_iecc(self):
+        pair_row = overhead_row(PairScheme())
+        iecc_row = overhead_row(ConventionalIecc())
+        assert pair_row["storage_overhead_pct"] == pytest.approx(6.67, abs=0.01)
+        assert iecc_row["storage_overhead_pct"] == pytest.approx(6.25, abs=0.01)

@@ -1,0 +1,46 @@
+"""Tests for the all-bank refresh model in the controller."""
+
+import pytest
+
+from repro.dram import AddressMapper, RANK_X8_5CHIP, SchemeTimingOverlay
+from repro.perf import ControllerConfig, MemoryController, TraceConfig, generate_trace, simulate
+
+NONE = SchemeTimingOverlay()
+
+
+def long_trace(requests=6000, rate=0.05, seed=1, locality=0.6):
+    mapper = AddressMapper(RANK_X8_5CHIP)
+    cfg = TraceConfig(
+        requests=requests, arrival_rate=rate, seed=seed, row_locality=locality,
+    )
+    return generate_trace(cfg, mapper)
+
+
+class TestRefresh:
+    def test_disabled_by_default(self):
+        controller = MemoryController(ControllerConfig(), NONE)
+        controller.run(long_trace(2000))
+        assert controller.refreshes == 0
+
+    def test_refreshes_fire_at_trefi_cadence(self):
+        config = ControllerConfig(refresh=True)
+        controller = MemoryController(config, NONE)
+        _, makespan = controller.run(long_trace())
+        expected = makespan / config.timing.tREFI
+        assert controller.refreshes == pytest.approx(expected, rel=0.15)
+
+    def test_refresh_costs_throughput(self):
+        # a saturating stream: refresh windows genuinely stall service
+        trace = long_trace(rate=0.13, locality=0.95)
+        base = simulate(trace, NONE, "none", "w", config=ControllerConfig())
+        refreshed = simulate(trace, NONE, "none", "w", config=ControllerConfig(refresh=True))
+        assert refreshed.throughput < base.throughput
+        # tRFC/tREFI ~ 7.5%: the penalty must be in that ballpark, not 50%
+        assert refreshed.throughput > base.throughput * 0.85
+
+    def test_refresh_closes_rows(self):
+        config = ControllerConfig(refresh=True)
+        controller = MemoryController(config, NONE)
+        controller.run(long_trace(4000, rate=0.02))
+        # after enough refreshes every surviving open row was re-opened
+        assert controller.refreshes > 0

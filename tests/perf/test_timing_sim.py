@@ -1,0 +1,115 @@
+"""Tests for the memory-controller timing simulator."""
+
+import pytest
+
+from repro.dram import AddressMapper, DramAddress, RANK_X8_5CHIP, DDR5_4800, SchemeTimingOverlay
+from repro.perf import ControllerConfig, MemoryController, Request, TraceConfig, generate_trace, simulate
+from repro.schemes import Duo, NoEcc, PairScheme, Xed
+
+NONE = SchemeTimingOverlay()
+
+
+def req(arrival, bank=0, row=0, col=0, write=False, masked=False):
+    return Request(arrival, DramAddress(bank, row, col), is_write=write, is_masked=masked)
+
+
+class TestController:
+    def test_single_read_latency(self):
+        c = MemoryController(ControllerConfig(), NONE)
+        served, _ = c.run([req(0.0)])
+        t = DDR5_4800
+        assert served[0].latency == t.tRCD + t.cl + t.tBURST
+
+    def test_reads_to_same_row_pipeline(self):
+        c = MemoryController(ControllerConfig(), NONE)
+        served, makespan = c.run([req(0.0, col=i) for i in range(8)])
+        # row stays open: bursts stream back to back, roughly tBURST apart
+        assert makespan < DDR5_4800.tRCD + DDR5_4800.cl + 8 * DDR5_4800.tBURST + 20
+
+    def test_fr_fcfs_prefers_row_hits(self):
+        c = MemoryController(ControllerConfig(queue_window=4), NONE)
+        # all arrive together: after the warm-up opens row 0, the row hit
+        # must jump the older row-conflict request
+        warm = req(0.0, row=0, col=0)
+        conflict = req(0.0, row=1, col=0)
+        hit = req(0.0, row=0, col=1)
+        served, _ = c.run([warm, conflict, hit])
+        order = [(r.address.row, r.address.col) for r in served]
+        assert order.index((0, 1)) < order.index((1, 0))
+
+    def test_bank_parallelism_beats_single_bank(self):
+        cfg = ControllerConfig()
+        single = MemoryController(cfg, NONE).run(
+            [req(0.0, bank=0, row=i, col=0) for i in range(8)]
+        )[1]
+        spread = MemoryController(cfg, NONE).run(
+            [req(0.0, bank=i, row=i, col=0) for i in range(8)]
+        )[1]
+        assert spread < single
+
+    def test_row_stats_tracked(self):
+        c = MemoryController(ControllerConfig(), NONE)
+        c.run([req(0.0, row=0, col=0), req(0.0, row=0, col=1), req(0.0, row=1, col=0)])
+        hits = sum(b.row_hits for b in c.banks)
+        conflicts = sum(b.row_conflicts for b in c.banks)
+        assert hits == 1 and conflicts == 1
+
+
+class TestSchemeEffects:
+    @pytest.fixture
+    def mapper(self):
+        return AddressMapper(RANK_X8_5CHIP)
+
+    @pytest.fixture
+    def write_trace(self, mapper):
+        cfg = TraceConfig(
+            requests=3000, write_fraction=0.5, masked_write_fraction=0.3,
+            row_locality=0.7, arrival_rate=0.08, seed=3,
+        )
+        return generate_trace(cfg, mapper)
+
+    def test_xed_rmw_slows_write_workloads(self, write_trace):
+        base = simulate(write_trace, NoEcc().timing_overlay, "base", "w")
+        xed = simulate(write_trace, Xed().timing_overlay, "xed", "w")
+        assert xed.throughput < base.throughput * 0.97
+
+    def test_pair_close_to_baseline(self, write_trace):
+        base = simulate(write_trace, NoEcc().timing_overlay, "base", "w")
+        pair = simulate(write_trace, PairScheme().timing_overlay, "pair", "w")
+        assert pair.throughput > base.throughput * 0.96
+
+    def test_duo_bus_stretch_visible(self, mapper):
+        cfg = TraceConfig(requests=3000, write_fraction=0.0, row_locality=0.95,
+                          arrival_rate=0.13, seed=4)
+        trace = generate_trace(cfg, mapper)
+        base = simulate(trace, NoEcc().timing_overlay, "base", "s")
+        duo = simulate(trace, Duo().timing_overlay, "duo", "s")
+        assert duo.bus_busy_fraction > base.bus_busy_fraction
+        assert duo.throughput < base.throughput
+
+    def test_masked_extra_read_costs_duo_only(self, mapper):
+        cfg = TraceConfig(requests=2000, write_fraction=0.5, masked_write_fraction=0.6,
+                          row_locality=0.7, arrival_rate=0.07, seed=5)
+        trace = generate_trace(cfg, mapper)
+        pair = simulate(trace, PairScheme().timing_overlay, "pair", "m")
+        duo = simulate(trace, Duo().timing_overlay, "duo", "m")
+        assert duo.throughput < pair.throughput * 0.95
+
+    def test_read_latency_overlay_shifts_latency(self, mapper):
+        cfg = TraceConfig(requests=1000, write_fraction=0.0, arrival_rate=0.01, seed=6)
+        trace = generate_trace(cfg, mapper)
+        base = simulate(trace, NoEcc().timing_overlay, "base", "r")
+        slow = simulate(trace, SchemeTimingOverlay(read_latency_cycles=10), "slow", "r")
+        assert slow.read_latency_mean == pytest.approx(base.read_latency_mean + 10, abs=1.0)
+
+
+class TestResultFields:
+    def test_summary_fields(self):
+        mapper = AddressMapper(RANK_X8_5CHIP)
+        trace = generate_trace(TraceConfig(requests=200, seed=7), mapper)
+        res = simulate(trace, NONE, "none", "unit")
+        d = res.as_dict()
+        assert d["requests"] == 200
+        assert d["read_latency_p95"] >= d["read_latency_mean"] * 0.5
+        assert 0 <= d["row_hit_rate"] <= 1
+        assert 0 <= d["bus_busy_fraction"] <= 1

@@ -1,0 +1,57 @@
+"""Tests for trace file I/O."""
+
+import pytest
+
+from repro.dram import AddressMapper, RANK_X8_5CHIP
+from repro.perf import TraceConfig, generate_trace, load_trace, save_trace, simulate
+from repro.schemes import PairScheme
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        mapper = AddressMapper(RANK_X8_5CHIP)
+        trace = generate_trace(TraceConfig(requests=200, seed=1), mapper)
+        path = tmp_path / "trace.txt"
+        written = save_trace(path, trace)
+        loaded = load_trace(path)
+        assert written == len(loaded) == 200
+        for a, b in zip(trace, loaded):
+            assert a.address == b.address
+            assert a.is_write == b.is_write
+            assert a.is_masked == b.is_masked
+            assert a.arrival == pytest.approx(b.arrival, abs=1e-3)
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        mapper = AddressMapper(RANK_X8_5CHIP)
+        trace = generate_trace(TraceConfig(requests=300, seed=2), mapper)
+        path = tmp_path / "trace.txt"
+        save_trace(path, trace)
+        result = simulate(load_trace(path), PairScheme().timing_overlay, "pair", "file")
+        assert result.requests == 300
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n10.0 0 5 3 R\n20.0 1 6 4 M  # inline\n")
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert loaded[1].is_masked
+
+    def test_sorts_by_arrival(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("20.0 0 0 0 R\n10.0 0 0 1 W\n")
+        loaded = load_trace(path)
+        assert loaded[0].arrival == 10.0
+
+
+class TestValidation:
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10.0 0 5 R\n")
+        with pytest.raises(ValueError, match="5 fields"):
+            load_trace(path)
+
+    def test_unknown_op(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10.0 0 5 3 X\n")
+        with pytest.raises(ValueError, match="unknown op"):
+            load_trace(path)

@@ -1,0 +1,71 @@
+"""Tests for measured conditional-outcome tables."""
+
+import numpy as np
+import pytest
+
+from repro.codes import HammingSEC, HsiaoSECDED, ReedSolomonCode, SinglyExtendedRS
+from repro.galois import GF256
+from repro.reliability import measure_bit_code, measure_symbol_code
+from repro.reliability.conditional import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestBitCodeTables:
+    def test_sec_structure(self):
+        code = HammingSEC(136, 128)
+        table = measure_bit_code(code, j_max=4, samples=300, seed=1)
+        assert table.p_flag[0] == 0 and table.p_bad[0] == 0
+        assert table.p_flag[1] == 0 and table.p_bad[1] == 0  # singles corrected
+        # doubles: mostly miscorrect (bad), sometimes detect
+        assert table.p_bad[2] > 0.7
+        assert table.p_flag[2] + table.p_bad[2] == pytest.approx(1.0, abs=1e-9)
+
+    def test_silent_on_detect_folds_flags_into_bad(self):
+        code = HammingSEC(136, 128)
+        table = measure_bit_code(
+            code, j_max=3, samples=300, seed=1, silent_on_detect=True
+        )
+        assert np.all(table.p_flag == 0)
+        assert table.p_bad[2] == pytest.approx(1.0)  # doubles always end wrong
+
+    def test_secded_detects_all_doubles(self):
+        code = HsiaoSECDED(72, 64)
+        table = measure_bit_code(code, j_max=3, samples=300, seed=2)
+        assert table.p_flag[2] == pytest.approx(1.0)
+        assert table.p_bad[2] == 0.0
+
+    def test_cache_returns_same_object(self):
+        code = HammingSEC(136, 128)
+        t1 = measure_bit_code(code, j_max=3, samples=100, seed=3)
+        t2 = measure_bit_code(code, j_max=3, samples=100, seed=3)
+        assert t1 is t2
+
+
+class TestSymbolCodeTables:
+    def test_rs_guaranteed_region(self):
+        code = ReedSolomonCode(GF256, 76, 64)
+        table = measure_symbol_code(code, j_max=8, samples=150, seed=4)
+        for j in range(code.t + 1):
+            assert table.p_flag[j] == 0.0, j
+            assert table.p_bad[j] == 0.0, j
+        # beyond t: overwhelmingly detected at sampling resolution
+        assert table.p_flag[7] > 0.99
+
+    def test_extended_rs_guaranteed_region(self):
+        code = SinglyExtendedRS(GF256, 256, 240)
+        table = measure_symbol_code(code, j_max=9, samples=100, seed=5)
+        assert table.p_bad[8] == 0.0
+        assert table.p_flag[9] > 0.99
+
+    def test_window_column_present(self):
+        code = SinglyExtendedRS(GF256, 256, 240)
+        table = measure_symbol_code(
+            code, j_max=9, samples=100, seed=6, window_symbols=2
+        )
+        assert np.all(table.p_bad_window <= table.p_bad + 1e-12)

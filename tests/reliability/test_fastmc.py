@@ -1,0 +1,52 @@
+"""Tests for the vectorised symbol-count Monte Carlo engine."""
+
+import pytest
+
+from repro.reliability import build_model, run_fast, run_fast_duo, run_fast_pair
+from repro.schemes import Duo, NoEcc, PairScheme
+
+
+class TestDispatch:
+    def test_supported_schemes(self):
+        assert run_fast(PairScheme(), 1e-3, trials=100).trials == 100
+        assert run_fast(Duo(), 1e-3, trials=100).trials == 100
+
+    def test_unsupported_scheme_rejected(self):
+        with pytest.raises(TypeError):
+            run_fast(NoEcc(), 1e-3, trials=10)
+
+
+class TestStatistics:
+    def test_pair_matches_analytic_at_high_ber(self):
+        scheme = PairScheme()
+        ber = 2e-3
+        trials = 60_000
+        fast = run_fast_pair(scheme, ber, trials=trials, seed=3)
+        model = build_model(scheme, samples=400, seed=3)
+        predicted = model.line_probs(ber)["due"]
+        measured = fast.due_rate
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+    def test_duo_matches_analytic_at_high_ber(self):
+        scheme = Duo()
+        ber = 8e-3
+        trials = 60_000
+        fast = run_fast_duo(scheme, ber, trials=trials, seed=4)
+        model = build_model(scheme, samples=400, seed=4)
+        predicted = model.line_probs(ber)["due"]
+        assert fast.due_rate == pytest.approx(predicted, rel=0.1)
+
+    def test_zero_ber_is_clean(self):
+        fast = run_fast_pair(PairScheme(), 0.0, trials=5_000, seed=5)
+        assert fast.sdc == 0 and fast.due == 0
+
+    def test_deterministic_per_seed(self):
+        a = run_fast_pair(PairScheme(), 1e-3, trials=10_000, seed=6)
+        b = run_fast_pair(PairScheme(), 1e-3, trials=10_000, seed=6)
+        assert (a.sdc, a.due) == (b.sdc, b.due)
+
+    def test_as_tally(self):
+        fast = run_fast_pair(PairScheme(), 2e-3, trials=5_000, seed=7)
+        tally = fast.as_tally()
+        assert tally.total == 5_000
+        assert tally.due == fast.due

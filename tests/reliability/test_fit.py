@@ -1,0 +1,29 @@
+"""Tests for FIT / device-year scaling."""
+
+import pytest
+
+from repro.reliability import (
+    AccessProfile,
+    events_per_device_year,
+    fit_rate,
+    relative_reliability,
+)
+
+
+class TestScaling:
+    def test_events_per_device_year(self):
+        profile = AccessProfile(reads_per_second=1e8)
+        events = events_per_device_year(1e-15, profile)
+        assert events == pytest.approx(1e-15 * 1e8 * 3600 * 24 * 365.25)
+
+    def test_fit_rate_units(self):
+        profile = AccessProfile(reads_per_second=1e8)
+        # 1e-15 per read at 1e8 reads/s = 0.36e-3 fails/hour = 3.6e5 FIT
+        assert fit_rate(1e-15, profile) == pytest.approx(0.36e6, rel=1e-6)
+
+    def test_relative_reliability(self):
+        assert relative_reliability(1e-6, 1e-9) == pytest.approx(1000)
+        assert relative_reliability(1e-6, 0.0) == float("inf")
+
+    def test_default_profile(self):
+        assert events_per_device_year(0.0) == 0.0

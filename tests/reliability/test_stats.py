@@ -1,0 +1,73 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.reliability import at_least_one, binom_pmf, binom_tail, wilson_interval
+
+
+class TestBinomPmf:
+    def test_sums_to_one(self):
+        js = np.arange(0, 137)
+        assert binom_pmf(136, js, 0.01).sum() == pytest.approx(1.0)
+
+    def test_matches_closed_form_small(self):
+        assert binom_pmf(4, 2, 0.5) == pytest.approx(6 / 16)
+
+    def test_tiny_p_stable(self):
+        val = binom_pmf(2048, 2, 1e-9)
+        expect = math.comb(2048, 2) * 1e-18
+        assert val == pytest.approx(expect, rel=1e-3)
+
+    def test_degenerate_p(self):
+        assert binom_pmf(10, 0, 0.0) == 1.0
+        assert binom_pmf(10, 3, 0.0) == 0.0
+        assert binom_pmf(10, 10, 1.0) == 1.0
+
+    def test_out_of_range_j(self):
+        assert binom_pmf(10, 11, 0.3) == 0.0
+
+    def test_scalar_and_array_forms(self):
+        scalar = binom_pmf(10, 3, 0.2)
+        array = binom_pmf(10, np.array([3]), 0.2)
+        assert scalar == pytest.approx(float(array[0]))
+
+
+class TestBinomTail:
+    def test_tail_complements_head(self):
+        n, p = 136, 1e-3
+        head = binom_pmf(n, np.arange(0, 2), p).sum()
+        assert binom_tail(n, 2, p) == pytest.approx(1 - head, rel=1e-9)
+
+    def test_trivial_cases(self):
+        assert binom_tail(10, 0, 0.5) == 1.0
+        assert binom_tail(10, 11, 0.5) == 0.0
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(10, 100)
+        assert lo < 0.1 < hi
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert hi < 0.05
+
+    def test_no_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+class TestAtLeastOne:
+    def test_matches_direct_formula(self):
+        p, n = 1e-3, 32
+        assert at_least_one(p, n) == pytest.approx(1 - (1 - p) ** n)
+
+    def test_tiny_probabilities_no_underflow(self):
+        val = at_least_one(1e-18, 32)
+        assert val == pytest.approx(32e-18, rel=1e-6)
+
+    def test_zero(self):
+        assert at_least_one(0.0, 100) == 0.0

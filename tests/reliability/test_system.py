@@ -1,0 +1,77 @@
+"""Tests for the composite system-reliability model."""
+
+import pytest
+
+from repro.faults import DEFAULT_RATES, FaultRates, FaultType
+from repro.reliability import evaluate_system
+from repro.reliability.system import _footprint_hit_probability
+from repro.schemes import ConventionalIecc, NoEcc, PairScheme
+
+
+class TestFootprintHit:
+    def test_row_fault_hit_probability(self):
+        scheme = PairScheme()
+        device = scheme.rank.device
+        hit = _footprint_hit_probability(FaultType.ROW, scheme, DEFAULT_RATES)
+        assert hit == pytest.approx(1.0 / (device.rows_per_bank * device.banks))
+
+    def test_pin_fault_hits_whole_bank(self):
+        scheme = PairScheme()
+        hit = _footprint_hit_probability(FaultType.PIN_LINE, scheme, DEFAULT_RATES)
+        assert hit == pytest.approx(1.0 / scheme.rank.device.banks)
+
+    def test_column_hit_smaller_than_pin(self):
+        scheme = PairScheme()
+        col = _footprint_hit_probability(FaultType.COLUMN, scheme, DEFAULT_RATES)
+        pin = _footprint_hit_probability(FaultType.PIN_LINE, scheme, DEFAULT_RATES)
+        assert 0 < col < pin
+
+    def test_rejects_non_structured(self):
+        with pytest.raises(ValueError):
+            _footprint_hit_probability(FaultType.SINGLE_CELL, PairScheme(), DEFAULT_RATES)
+
+
+class TestEvaluateSystem:
+    def test_zero_rates_zero_risk(self):
+        rates = FaultRates(
+            single_cell_ber=0.0, row_faults_per_device=0.0,
+            column_faults_per_device=0.0, pin_faults_per_device=0.0,
+            mat_faults_per_device=0.0,
+        )
+        rel = evaluate_system(PairScheme(), rates, trials_per_mode=4, samples=100)
+        assert rel.any_sdc_probability == 0.0
+        assert rel.any_due_probability == 0.0
+
+    def test_breakdown_keys(self):
+        rel = evaluate_system(
+            PairScheme(), DEFAULT_RATES.with_ber(1e-6), trials_per_mode=6, samples=100
+        )
+        expected_keys = {"single-cell", "row", "column", "pin-line", "mat"}
+        assert set(rel.sdc_per_year) == expected_keys
+        assert set(rel.prob_due_year) == expected_keys
+
+    def test_paper_story_at_scaled_ber(self):
+        """At BER 1e-6: conventional corrupts within the year, PAIR does not."""
+        rates = DEFAULT_RATES.with_ber(1e-6)
+        iecc = evaluate_system(ConventionalIecc(), rates, trials_per_mode=6, samples=150)
+        pair = evaluate_system(PairScheme(), rates, trials_per_mode=6, samples=150)
+        assert iecc.any_sdc_probability > 0.99
+        assert pair.any_sdc_probability < 1e-9
+        # PAIR converts the structured-fault population into DUEs
+        assert pair.any_due_probability > 0
+        assert pair.prob_due_year["row"] > 0
+
+    def test_probabilities_bounded(self):
+        rel = evaluate_system(
+            NoEcc(), DEFAULT_RATES.with_ber(1e-5), trials_per_mode=4, samples=50
+        )
+        assert 0.0 <= rel.any_sdc_probability <= 1.0
+        assert 0.0 <= rel.any_due_probability <= 1.0
+
+    def test_as_row_shape(self):
+        rel = evaluate_system(
+            PairScheme(), DEFAULT_RATES.with_ber(1e-7), trials_per_mode=4, samples=50
+        )
+        row = rel.as_row()
+        assert row["scheme"] == "pair"
+        assert "P(sdc/yr)" in row

@@ -1,0 +1,32 @@
+"""Shared helpers for scheme tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultRates
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xEC0)
+
+
+def random_line(rng, scheme):
+    return rng.integers(0, 2, scheme.line_shape).astype(np.uint8)
+
+
+def clean_rates(**overrides):
+    base = dict(
+        single_cell_ber=0.0, row_faults_per_device=0.0, column_faults_per_device=0.0,
+        pin_faults_per_device=0.0, mat_faults_per_device=0.0,
+        transfer_burst_per_access=0.0,
+    )
+    base.update(overrides)
+    return FaultRates(**base)
+
+
+def flip_storage_bits(chip, bank, row, positions):
+    """Flip specific (pin, offset) bits directly in a chip's storage."""
+    view = chip.row_view(bank, row)
+    for pin, off in positions:
+        view[pin, off] ^= 1

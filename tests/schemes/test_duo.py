@@ -1,0 +1,107 @@
+"""Tests for the DUO baseline (controller-side long RS)."""
+
+import numpy as np
+import pytest
+
+from repro.dram import RANK_X8_4CHIP
+from repro.faults import TransferBurst
+from repro.schemes import Duo
+
+from .conftest import flip_storage_bits, random_line
+
+
+@pytest.fixture
+def duo():
+    return Duo()
+
+
+class TestConfiguration:
+    def test_published_code_parameters(self, duo):
+        assert duo.code.n == 76
+        assert duo.code.k == 64
+        assert duo.code.t == 6
+
+    def test_requires_ecc_chip(self):
+        with pytest.raises(ValueError):
+            Duo(rank=RANK_X8_4CHIP)
+
+    def test_overlay_has_burst_stretch_and_controller_rmw(self, duo):
+        ov = duo.timing_overlay
+        assert ov.burst_stretch == pytest.approx(17 / 16)
+        assert ov.masked_write_extra_read
+        assert ov.write_rmw_cycles == 0  # no in-DRAM RMW
+
+    def test_storage_overhead_matches_iecc_budget(self, duo):
+        assert duo.storage_overhead == pytest.approx(0.0625)
+
+
+class TestDatapath:
+    def test_roundtrip(self, duo, rng):
+        chips = duo.make_devices()
+        data = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, data)
+        result = duo.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_up_to_t_symbols(self, duo, rng):
+        chips = duo.make_devices()
+        data = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, data)
+        # 6 errors in 6 distinct beat-aligned symbols (symbol = one beat):
+        # beats 0-3 on chips 0-3, plus beats 5 and 7 on chip 0
+        for chip_idx in range(4):
+            flip_storage_bits(chips[chip_idx], 0, 0, [(0, chip_idx)])
+        flip_storage_bits(chips[0], 0, 0, [(3, 5), (6, 7)])
+        result = duo.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        assert result.corrections == 6
+
+    def test_detects_beyond_t(self, duo, rng):
+        chips = duo.make_devices()
+        data = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, data)
+        # 7 distinct symbols (one bit each, one per beat) - beyond t = 6
+        for beat in range(7):
+            flip_storage_bits(chips[0], 0, 0, [(0, beat)])
+        result = duo.read_line(chips, 0, 0, 0)
+        assert not result.believed_good
+
+    def test_redundancy_storage_faults_corrected(self, duo, rng):
+        chips = duo.make_devices()
+        data = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, data)
+        spare = duo.rank.device.data_bits_per_pin_per_row
+        flip_storage_bits(chips[0], 0, 0, [(0, spare)])  # chip-0 spare symbol
+        flip_storage_bits(chips[4], 0, 0, [(0, 0)])  # ECC chip symbol
+        result = duo.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_pin_burst_costs_many_symbols(self, duo, rng):
+        """Beat-aligned symbols: a long per-pin burst overwhelms DUO."""
+        chips = duo.make_devices()
+        data = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, data)
+        burst = TransferBurst(pin=2, beat_start=0, length=12)  # 12 symbols hit
+        result = duo.read_line(chips, 0, 0, 0, bursts={0: burst})
+        assert not result.believed_good  # 12 > t = 6: detected
+
+    def test_short_burst_still_corrected(self, duo, rng):
+        chips = duo.make_devices()
+        data = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, data)
+        burst = TransferBurst(pin=2, beat_start=0, length=5)  # 5 symbols
+        result = duo.read_line(chips, 0, 0, 0, bursts={0: burst})
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_multiple_cols_independent(self, duo, rng):
+        chips = duo.make_devices()
+        d1 = random_line(rng, duo)
+        d2 = random_line(rng, duo)
+        duo.write_line(chips, 0, 0, 0, d1)
+        duo.write_line(chips, 0, 0, 1, d2)
+        assert np.array_equal(duo.read_line(chips, 0, 0, 0).data, d1)
+        assert np.array_equal(duo.read_line(chips, 0, 0, 1).data, d2)

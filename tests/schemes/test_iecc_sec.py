@@ -1,0 +1,73 @@
+"""Tests for the conventional in-DRAM SEC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import ConventionalIecc
+
+from .conftest import flip_storage_bits, random_line
+
+
+@pytest.fixture
+def iecc():
+    return ConventionalIecc()
+
+
+class TestConfiguration:
+    def test_code_and_overhead(self, iecc):
+        assert iecc.code.n == 136
+        assert iecc.code.k == 128
+        assert iecc.storage_overhead == pytest.approx(0.0625)
+
+    def test_masked_write_rmw_declared(self, iecc):
+        ov = iecc.timing_overlay
+        assert ov.write_rmw_cycles > 0
+        assert not ov.rmw_on_all_writes  # only masked writes pay
+
+
+class TestDatapath:
+    def test_roundtrip(self, iecc, rng):
+        chips = iecc.make_devices()
+        data = random_line(rng, iecc)
+        iecc.write_line(chips, 0, 0, 9, data)
+        result = iecc.read_line(chips, 0, 0, 9)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_single_cell_per_chip_word(self, iecc, rng):
+        chips = iecc.make_devices()
+        data = random_line(rng, iecc)
+        iecc.write_line(chips, 0, 0, 0, data)
+        for chip_idx in range(4):
+            flip_storage_bits(chips[chip_idx], 0, 0, [(chip_idx * 2, 5)])
+        result = iecc.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        assert result.corrections == 4
+
+    def test_double_error_usually_silently_corrupts(self, iecc, rng):
+        """The conventional-IECC failure mode PAIR targets: no DUE path."""
+        sdc = 0
+        trials = 30
+        for trial in range(trials):
+            local = np.random.default_rng(trial)
+            chips = iecc.make_devices()
+            data = random_line(local, iecc)
+            iecc.write_line(chips, 0, 0, 0, data)
+            offsets = local.choice(16, 2, replace=False)
+            flip_storage_bits(chips[0], 0, 0, [(0, int(offsets[0])), (1, int(offsets[1]))])
+            result = iecc.read_line(chips, 0, 0, 0)
+            assert result.believed_good  # it never flags anything
+            if not np.array_equal(result.data, data):
+                sdc += 1
+        assert sdc == trials  # two data errors can never come back right
+
+    def test_parity_region_error_does_not_corrupt_data(self, iecc, rng):
+        chips = iecc.make_devices()
+        data = random_line(rng, iecc)
+        iecc.write_line(chips, 0, 0, 3, data)
+        spare = iecc.rank.device.data_bits_per_pin_per_row
+        flip_storage_bits(chips[0], 0, 0, [(0, spare + 3)])
+        result = iecc.read_line(chips, 0, 0, 3)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)

@@ -1,0 +1,94 @@
+"""Tests for the NoECC and rank-level SEC-DED baselines."""
+
+import numpy as np
+import pytest
+
+from repro.dram import RANK_X8_4CHIP
+from repro.faults import TransferBurst
+from repro.schemes import NoEcc, RankSecDed
+
+from .conftest import flip_storage_bits, random_line
+
+
+class TestNoEcc:
+    def test_roundtrip(self, rng):
+        scheme = NoEcc()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_any_fault_is_silent_corruption(self, rng):
+        scheme = NoEcc()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        flip_storage_bits(chips[0], 0, 0, [(0, 0)])
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good  # it cannot know
+        assert not np.array_equal(result.data, data)
+
+    def test_burst_passes_through(self, rng):
+        scheme = NoEcc()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        burst = TransferBurst(pin=0, beat_start=0, length=4)
+        result = scheme.read_line(chips, 0, 0, 0, bursts={0: burst})
+        assert not np.array_equal(result.data, data)
+
+    def test_zero_overheads(self):
+        scheme = NoEcc()
+        assert scheme.storage_overhead == 0.0
+        assert scheme.timing_overlay.read_latency_cycles == 0
+
+
+class TestRankSecDed:
+    def test_requires_ecc_chip(self):
+        with pytest.raises(ValueError):
+            RankSecDed(rank=RANK_X8_4CHIP)
+
+    def test_roundtrip(self, rng):
+        scheme = RankSecDed()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_one_bit_per_slice(self, rng):
+        scheme = RankSecDed()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        # one bit in each chip: slices are 64 consecutive beat-major bits,
+        # so chip c beat b pin p is global bit c*128 + b*8 + p
+        for chip_idx in range(4):
+            flip_storage_bits(chips[chip_idx], 0, 0, [(0, 0)])  # distinct slices
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        assert result.corrections == 4
+
+    def test_double_in_one_slice_is_due(self, rng):
+        scheme = RankSecDed()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        # two bits in the same 64-bit slice: pins 0 and 1 of beat 0, chip 0
+        flip_storage_bits(chips[0], 0, 0, [(0, 0), (1, 0)])
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert not result.believed_good
+
+    def test_check_bit_fault_corrected(self, rng):
+        scheme = RankSecDed()
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 0, 0, data)
+        flip_storage_bits(chips[4], 0, 0, [(3, 0)])  # ECC chip bit
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)

@@ -1,0 +1,245 @@
+"""Tests for the PAIR scheme - the paper's contribution."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DDR5_X4, DDR5_X8, DDR5_X16
+from repro.faults import TransferBurst
+from repro.schemes import PairScheme
+
+from .conftest import flip_storage_bits, random_line
+
+
+@pytest.fixture
+def pair():
+    return PairScheme()
+
+
+class TestConfiguration:
+    def test_default_code(self, pair):
+        assert pair.code.n == 256
+        assert pair.code.k == 240
+        assert pair.t == 8
+        assert pair.storage_overhead == pytest.approx(16 / 240)
+
+    def test_no_extra_chips(self, pair):
+        assert pair.rank.ecc_chips == 0
+        assert pair.chip_overhead == 0.0
+
+    def test_timing_overlay_is_lean(self, pair):
+        ov = pair.timing_overlay
+        assert ov.burst_stretch == 1.0
+        assert ov.write_rmw_cycles == 0
+        assert not ov.masked_write_extra_read
+
+    def test_orientations(self):
+        beat = PairScheme(orientation="beat")
+        assert beat.name == "pair-beat"
+        with pytest.raises(ValueError):
+            PairScheme(orientation="diagonal")
+
+    def test_description_row(self, pair):
+        row = pair.description()
+        assert row["scheme"] == "pair"
+        assert row["storage_overhead"] == pytest.approx(16 / 240)
+
+
+class TestForDevice:
+    @pytest.mark.parametrize(
+        "device,chips", [(DDR5_X4, 8), (DDR5_X8, 4), (DDR5_X16, 2)]
+    )
+    def test_rank_adapts_to_pin_count(self, device, chips):
+        scheme = PairScheme.for_device(device)
+        assert scheme.rank.data_chips == chips
+        assert scheme.rank.access_data_bits == 512
+
+    @pytest.mark.parametrize("device", [DDR5_X4, DDR5_X8, DDR5_X16])
+    def test_roundtrip_every_width(self, device, rng):
+        scheme = PairScheme.for_device(device)
+        chips = scheme.make_devices()
+        data = random_line(rng, scheme)
+        scheme.write_line(chips, 0, 3, 2, data)
+        result = scheme.read_line(chips, 0, 3, 2)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+
+class TestWritePath:
+    def test_roundtrip(self, pair, rng):
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        result = pair.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert result.corrections == 0
+        assert np.array_equal(result.data, data)
+
+    def test_every_column_in_a_segment(self, pair, rng):
+        chips = pair.make_devices()
+        written = {}
+        for col in (0, 1, 60, 119, 120, 479):
+            data = random_line(rng, pair)
+            pair.write_line(chips, 0, 0, col, data)
+            written[col] = data
+        for col, data in written.items():
+            result = pair.read_line(chips, 0, 0, col)
+            assert result.believed_good
+            assert np.array_equal(result.data, data), col
+
+    def test_rewrite_updates_parity_incrementally(self, pair, rng):
+        """Overwrites must keep every touched codeword consistent."""
+        chips = pair.make_devices()
+        for _ in range(5):
+            data = random_line(rng, pair)
+            pair.write_line(chips, 0, 7, 42, data)
+        result = pair.read_line(chips, 0, 7, 42)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        # all codewords of the touched segment must be valid codewords
+        for chip in chips:
+            row = chip.row_view(0, 7)
+            for cw in pair.layout.codewords_of_access(42):
+                symbols = pair.layout.gather(row, cw)
+                assert not np.any(pair.code.inner.syndromes(symbols[:-1]))
+                assert symbols[-1] == np.bitwise_xor.reduce(symbols[:-1])
+
+    def test_incremental_matches_full_encode(self, pair, rng):
+        """The impulse-table update equals a from-scratch encode."""
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 1, 5, data)
+        row = chips[0].row_view(0, 1)
+        cw = pair.layout.codewords_of_access(5)[0]
+        symbols = pair.layout.gather(row, cw)
+        expect = pair.code.encode(symbols[: pair.layout.k])
+        assert np.array_equal(symbols, expect)
+
+    def test_write_does_not_disturb_other_segments(self, pair, rng):
+        chips = pair.make_devices()
+        d1 = random_line(rng, pair)
+        d2 = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, d1)  # segment 0
+        pair.write_line(chips, 0, 0, 200, d2)  # segment 1
+        assert np.array_equal(pair.read_line(chips, 0, 0, 0).data, d1)
+        assert np.array_equal(pair.read_line(chips, 0, 0, 200).data, d2)
+
+
+class TestCorrection:
+    def test_corrects_t_scattered_cells_per_pin(self, pair, rng):
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        # 8 weak cells spread along pin 0's first segment (codeword 0)
+        offsets = rng.choice(1920, 8, replace=False)
+        flip_storage_bits(chips[0], 0, 0, [(0, int(o)) for o in offsets])
+        result = pair.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_cells_on_every_pin_simultaneously(self, pair, rng):
+        """Each pin codeword corrects independently: 8 x t cells per chip."""
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        for pin in range(8):
+            base = pin * 0  # same segment, different pins
+            offsets = rng.choice(1920, 8, replace=False)
+            flip_storage_bits(chips[0], 0, 0, [(pin, int(o)) for o in offsets])
+        result = pair.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        assert result.corrections >= 8  # at least the affected symbols
+
+    def test_detects_beyond_capability(self, pair, rng):
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        # 9 errors in 9 distinct symbols of pin 0's codeword
+        offsets = [i * 8 for i in range(9)]
+        flip_storage_bits(chips[0], 0, 0, [(0, o) for o in offsets])
+        result = pair.read_line(chips, 0, 0, 0)
+        assert not result.believed_good
+
+    def test_parity_region_faults_corrected(self, pair, rng):
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        device = pair.rank.device
+        spare_base = device.data_bits_per_pin_per_row
+        flip_storage_bits(chips[0], 0, 0, [(0, spare_base + 3), (0, spare_base + 40)])
+        result = pair.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_corrections_scattered_back_to_output(self, pair, rng):
+        """A corrected symbol inside the accessed window must be fixed in data."""
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        col = 3
+        pair.write_line(chips, 0, 0, col, data)
+        # flip a bit INSIDE the accessed window of pin 2
+        flip_storage_bits(chips[0], 0, 0, [(2, col * 16 + 5)])
+        result = pair.read_line(chips, 0, 0, col)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        assert result.corrections == 1
+
+
+class TestBurstErrors:
+    def test_corrects_long_transfer_burst(self, pair, rng):
+        """A 9-beat burst on one pin touches <= 2 symbols: corrected."""
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        burst = TransferBurst(pin=4, beat_start=3, length=9)
+        result = pair.read_line(chips, 0, 0, 0, bursts={0: burst})
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_full_burst_on_pin(self, pair, rng):
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        burst = TransferBurst(pin=0, beat_start=0, length=16)  # 2 symbols
+        result = pair.read_line(chips, 0, 0, 0, bursts={0: burst})
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_bursts_on_multiple_chips(self, pair, rng):
+        chips = pair.make_devices()
+        data = random_line(rng, pair)
+        pair.write_line(chips, 0, 0, 0, data)
+        bursts = {c: TransferBurst(pin=c % 8, beat_start=0, length=8) for c in range(4)}
+        result = pair.read_line(chips, 0, 0, 0, bursts=bursts)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+
+class TestAlignmentAblation:
+    def test_beat_orientation_roundtrip(self, rng):
+        beat = PairScheme(orientation="beat")
+        chips = beat.make_devices()
+        data = random_line(rng, beat)
+        beat.write_line(chips, 0, 0, 0, data)
+        result = beat.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_burst_kills_beat_orientation_not_pin(self, rng):
+        """The paper's core geometric argument, end to end.
+
+        A 9+ beat burst on one pin is 1-2 symbols pin-aligned but 9+
+        symbols beat-aligned (> t = 8): only PAIR survives.
+        """
+        burst = TransferBurst(pin=1, beat_start=0, length=12)
+        outcomes = {}
+        for orientation in ("pin", "beat"):
+            scheme = PairScheme(orientation=orientation)
+            chips = scheme.make_devices()
+            data = random_line(np.random.default_rng(1), scheme)
+            scheme.write_line(chips, 0, 0, 0, data)
+            result = scheme.read_line(chips, 0, 0, 0, bursts={0: burst})
+            correct = result.believed_good and np.array_equal(result.data, data)
+            outcomes[orientation] = correct
+        assert outcomes["pin"] is True
+        assert outcomes["beat"] is False

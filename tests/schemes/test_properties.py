@@ -1,0 +1,136 @@
+"""Property-based tests over the scheme datapaths (hypothesis).
+
+Invariants every ECC scheme must hold regardless of data, location or
+injected damage:
+
+* clean round-trip: what you write is what you read, anywhere;
+* within-capability injections are transparent (correct data, believed
+  good);
+* a protected scheme never returns wrong data while claiming zero
+  corrections (a wrong answer requires either a correction attempt or a
+  fault pattern beyond capability).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes import ConventionalIecc, Duo, PairScheme, Xed
+
+SCHEMES = {
+    "iecc": ConventionalIecc,
+    "xed": Xed,
+    "duo": Duo,
+    "pair": PairScheme,
+}
+
+coords = st.tuples(
+    st.integers(0, 3),  # bank (small subset)
+    st.integers(0, 500),  # row
+    st.integers(0, 479),  # col
+)
+
+
+@st.composite
+def line_data(draw, scheme):
+    seed = draw(st.integers(0, 2**31 - 1))
+    return np.random.default_rng(seed).integers(0, 2, scheme.line_shape, dtype=np.uint8)
+
+
+class TestCleanRoundtrip:
+    @pytest.mark.parametrize("name", list(SCHEMES))
+    @given(coord=coords, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_write_read_identity(self, name, coord, seed):
+        scheme = SCHEMES[name]()
+        chips = scheme.make_devices()
+        bank, row, col = coord
+        data = np.random.default_rng(seed).integers(
+            0, 2, scheme.line_shape, dtype=np.uint8
+        )
+        scheme.write_line(chips, bank, row, col, data)
+        result = scheme.read_line(chips, bank, row, col)
+        assert result.believed_good
+        assert result.corrections == 0
+        assert np.array_equal(result.data, data)
+
+
+class TestWithinCapabilityInjection:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_errors=st.integers(1, 8),
+        pin=st.integers(0, 7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pair_corrects_any_injection_within_t(self, seed, n_errors, pin):
+        rng = np.random.default_rng(seed)
+        scheme = PairScheme()
+        chips = scheme.make_devices()
+        data = rng.integers(0, 2, scheme.line_shape, dtype=np.uint8)
+        scheme.write_line(chips, 0, 0, 0, data)
+        # corrupt n distinct symbols of one pin codeword (segment 0)
+        symbols = rng.choice(240, size=n_errors, replace=False)
+        view = chips[0].row_view(0, 0)
+        for sym in symbols:
+            bit = int(sym) * 8 + int(rng.integers(8))
+            view[pin, bit] ^= 1
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+        assert result.corrections == n_errors
+
+    @given(seed=st.integers(0, 2**31 - 1), n_errors=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_duo_corrects_any_injection_within_t(self, seed, n_errors):
+        rng = np.random.default_rng(seed)
+        scheme = Duo()
+        chips = scheme.make_devices()
+        data = rng.integers(0, 2, scheme.line_shape, dtype=np.uint8)
+        scheme.write_line(chips, 0, 0, 0, data)
+        # n distinct beat symbols across the 4 data chips
+        picks = rng.choice(4 * 16, size=n_errors, replace=False)
+        for p in picks:
+            chip, beat = int(p) // 16, int(p) % 16
+            view = chips[chip].row_view(0, 0)
+            view[int(rng.integers(8)), beat] ^= 1
+        result = scheme.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    @given(seed=st.integers(0, 2**31 - 1), chip=st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_single_cell_always_transparent(self, seed, chip):
+        """One weak cell anywhere is invisible through every scheme."""
+        rng = np.random.default_rng(seed)
+        for name, factory in SCHEMES.items():
+            scheme = factory()
+            chips = scheme.make_devices()
+            data = rng.integers(0, 2, scheme.line_shape, dtype=np.uint8)
+            scheme.write_line(chips, 0, 0, 0, data)
+            pin = int(rng.integers(scheme.rank.device.pins))
+            beat = int(rng.integers(16))
+            chips[chip].row_view(0, 0)[pin, beat] ^= 1
+            result = scheme.read_line(chips, 0, 0, 0)
+            assert result.believed_good, name
+            assert np.array_equal(result.data, data), name
+
+
+class TestNoSilentZeroCorrectionLies:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_pair_never_wrong_without_correcting(self, seed):
+        """If PAIR touched nothing and flagged nothing, the data is right."""
+        rng = np.random.default_rng(seed)
+        scheme = PairScheme()
+        chips = scheme.make_devices()
+        data = rng.integers(0, 2, scheme.line_shape, dtype=np.uint8)
+        scheme.write_line(chips, 0, 0, 0, data)
+        # arbitrary damage: up to 12 random cells on one pin
+        n = int(rng.integers(0, 13))
+        view = chips[0].row_view(0, 0)
+        for _ in range(n):
+            view[0, int(rng.integers(1920))] ^= 1
+        result = scheme.read_line(chips, 0, 0, 0)
+        if result.believed_good and result.corrections == 0:
+            assert np.array_equal(result.data, data)

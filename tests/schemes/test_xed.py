@@ -1,0 +1,153 @@
+"""Tests for the XED baseline (detect-expose + rank XOR parity)."""
+
+import numpy as np
+import pytest
+
+from repro.dram import RANK_X8_4CHIP
+from repro.schemes import Xed
+
+from .conftest import flip_storage_bits, random_line
+
+
+@pytest.fixture
+def xed():
+    return Xed()
+
+
+def force_detectable_word(code, rng):
+    """Bit pair whose double error lands on an unused syndrome (detected)."""
+    from repro.codes import DecodeStatus
+
+    cw = code.encode(np.zeros(128, dtype=np.uint8))
+    for a in range(136):
+        for b in range(a + 1, 136):
+            word = cw.copy()
+            word[a] ^= 1
+            word[b] ^= 1
+            if code.decode(word).status is DecodeStatus.DETECTED:
+                return a, b
+    raise AssertionError("no detectable double found")
+
+
+class TestConfiguration:
+    def test_requires_parity_chip(self):
+        with pytest.raises(ValueError):
+            Xed(rank=RANK_X8_4CHIP)
+
+    def test_rmw_on_all_writes(self, xed):
+        assert xed.timing_overlay.rmw_on_all_writes
+
+    def test_overhead(self, xed):
+        assert xed.storage_overhead == pytest.approx(0.0625)
+        assert xed.chip_overhead == pytest.approx(0.25)
+
+
+class TestDatapath:
+    def test_roundtrip(self, xed, rng):
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+        result = xed.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_parity_chip_content(self, xed, rng):
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+        words = [data[c].T.reshape(-1) for c in range(4)]
+        expected_parity = np.bitwise_xor.reduce(np.stack(words), axis=0)
+        parity_word = xed.layout.gather(chips[4].row_view(0, 0), 0)
+        assert np.array_equal(parity_word[:128], expected_parity)
+
+    def test_single_bit_corrected_on_die(self, xed, rng):
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+        flip_storage_bits(chips[2], 0, 0, [(3, 7)])
+        result = xed.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_detected_word_reconstructed_from_parity(self, xed, rng):
+        """The catch-word path: a detectable double error rebuilds cleanly."""
+        a, b = force_detectable_word(xed.code, rng)
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+        # map codeword positions a, b into storage: data bits are beat-major
+        positions = []
+        for p in (a, b):
+            if p < 128:
+                positions.append((p % 8, (p // 8)))  # pin, beat offset in col 0
+            else:
+                positions.append((p - 128, xed.rank.device.data_bits_per_pin_per_row))
+        flip_storage_bits(chips[1], 0, 0, positions)
+        result = xed.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_two_flagged_chips_is_due(self, xed, rng):
+        a, b = force_detectable_word(xed.code, rng)
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+        for chip_idx in (0, 2):
+            positions = []
+            for p in (a, b):
+                if p < 128:
+                    positions.append((p % 8, p // 8))
+                else:
+                    positions.append((p - 128, xed.rank.device.data_bits_per_pin_per_row))
+            flip_storage_bits(chips[chip_idx], 0, 0, positions)
+        result = xed.read_line(chips, 0, 0, 0)
+        assert not result.believed_good
+
+    def test_flagged_parity_chip_is_benign(self, xed, rng):
+        a, b = force_detectable_word(xed.code, rng)
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+        positions = []
+        for p in (a, b):
+            if p < 128:
+                positions.append((p % 8, p // 8))
+            else:
+                positions.append((p - 128, xed.rank.device.data_bits_per_pin_per_row))
+        flip_storage_bits(chips[4], 0, 0, positions)
+        result = xed.read_line(chips, 0, 0, 0)
+        assert result.believed_good
+        assert np.array_equal(result.data, data)
+
+    def test_silent_miscorrection_poisons_reconstruction(self, xed):
+        """Miscorrected chip + flagged chip -> wrong rebuilt data (SDC)."""
+        rng = np.random.default_rng(1)
+        a, b = force_detectable_word(xed.code, rng)
+        # find a miscorrecting pair instead
+        from repro.codes import DecodeStatus
+
+        cw = xed.code.encode(np.zeros(128, dtype=np.uint8))
+        mis_pair = None
+        for x in range(0, 50):
+            word = cw.copy()
+            word[x] ^= 1
+            word[x + 60] ^= 1
+            result = xed.code.decode(word)
+            if result.status is DecodeStatus.CORRECTED and np.any(result.data):
+                mis_pair = (x, x + 60)
+                break
+        assert mis_pair is not None
+        chips = xed.make_devices()
+        data = random_line(rng, xed)
+        xed.write_line(chips, 0, 0, 0, data)
+
+        def to_storage(p):
+            if p < 128:
+                return (p % 8, p // 8)
+            return (p - 128, xed.rank.device.data_bits_per_pin_per_row)
+
+        flip_storage_bits(chips[0], 0, 0, [to_storage(a), to_storage(b)])  # flagged
+        flip_storage_bits(chips[1], 0, 0, [to_storage(mis_pair[0]), to_storage(mis_pair[1])])
+        result = xed.read_line(chips, 0, 0, 0)
+        assert result.believed_good  # it thinks the rebuild worked
+        assert not np.array_equal(result.data, data)  # but the data is wrong

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_default_lineup(self, capsys):
+        main(["info"])
+        out = capsys.readouterr().out
+        for name in ("no-ecc", "iecc-sec", "xed", "duo", "pair"):
+            assert name in out
+
+    def test_scheme_subset(self, capsys):
+        main(["info", "--schemes", "pair", "xed"])
+        out = capsys.readouterr().out
+        assert "pair" in out and "xed" in out
+        assert "duo" not in out
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--schemes", "nope"])
+
+
+class TestReliability:
+    def test_sweep_outputs_table(self, capsys):
+        main(["reliability", "--bers", "1e-4", "--samples", "150",
+              "--schemes", "no-ecc", "iecc-sec"])
+        out = capsys.readouterr().out
+        assert "failure probability" in out
+        assert "1e-04" in out
+
+
+class TestPerf:
+    def test_single_workload(self, capsys):
+        main(["perf", "--workloads", "balanced", "--schemes", "pair", "xed"])
+        out = capsys.readouterr().out
+        assert "balanced" in out
+        assert "throughput" in out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--workloads", "nope"])
+
+    def test_geomean_printed_for_multiple(self, capsys):
+        main(["perf", "--workloads", "balanced", "random-read",
+              "--schemes", "pair"])
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+
+class TestBurst:
+    def test_burst_coverage(self, capsys):
+        main(["burst", "--lengths", "4", "12", "--trials", "4",
+              "--schemes", "pair", "duo"])
+        out = capsys.readouterr().out
+        assert "surviving" in out
+        lines = [l for l in out.splitlines() if l.startswith(("4 ", "12"))]
+        assert len(lines) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEnergy:
+    def test_energy_table(self, capsys):
+        main(["energy", "--schemes", "pair", "duo"])
+        out = capsys.readouterr().out
+        assert "read_nj" in out
+        assert "pair" in out and "duo" in out
+
+
+class TestHeadroom:
+    def test_headroom_table(self, capsys):
+        main(["headroom", "--targets", "1e-12", "--samples", "100",
+              "--schemes", "iecc-sec", "pair"])
+        out = capsys.readouterr().out
+        assert "tolerable" in out
+        assert "1e-12" in out
+
+    def test_no_ecc_excluded(self, capsys):
+        main(["headroom", "--targets", "1e-12", "--samples", "80",
+              "--schemes", "no-ecc", "iecc-sec"])
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        header = next(l for l in lines if "failure_target" in l)
+        assert "no-ecc" not in header
