@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis import format_table
 from repro.faults import FaultRates
-from repro.reliability import ExactRunConfig, run_iid
+from repro.reliability import ExactRunConfig, run_iid_batched
 from repro.schemes import default_schemes
 
 CLUSTER_RATE = 3e-4
@@ -33,7 +33,7 @@ def cluster_rates() -> FaultRates:
 def tallies():
     config = ExactRunConfig(trials=TRIALS, seed=5)
     return {
-        scheme.name: run_iid(scheme, cluster_rates(), config)
+        scheme.name: run_iid_batched(scheme, cluster_rates(), config)
         for scheme in default_schemes()
     }
 

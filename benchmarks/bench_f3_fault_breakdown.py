@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis import format_table
 from repro.faults import DEFAULT_RATES, FaultType
-from repro.reliability import ExactRunConfig, run_single_fault
+from repro.reliability import ExactRunConfig, run_single_fault_batched
 from repro.schemes import default_schemes
 
 KINDS = [
@@ -30,7 +30,7 @@ def breakdown():
     config = ExactRunConfig(trials=TRIALS, seed=0)
     for scheme in default_schemes():
         for kind in KINDS:
-            results[(scheme.name, kind)] = run_single_fault(
+            results[(scheme.name, kind)] = run_single_fault_batched(
                 scheme, kind, DEFAULT_RATES, config
             )
     return results

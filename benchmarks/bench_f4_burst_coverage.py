@@ -10,7 +10,7 @@ transfer touches at most two byte symbols of one pin-aligned codeword.
 import pytest
 
 from repro.analysis import format_series
-from repro.reliability import ExactRunConfig, run_burst_lengths
+from repro.reliability import ExactRunConfig, run_burst_lengths_batched
 from repro.schemes import default_schemes
 
 LENGTHS = [1, 2, 4, 6, 8, 10, 12, 16]
@@ -21,7 +21,7 @@ TRIALS = 20
 def coverage():
     results = {}
     for scheme in default_schemes():
-        tallies = run_burst_lengths(
+        tallies = run_burst_lengths_batched(
             scheme, LENGTHS, ExactRunConfig(trials=TRIALS, seed=0)
         )
         results[scheme.name] = {

@@ -91,6 +91,15 @@ class BlockCode(abc.ABC):
     def decode(self, received: np.ndarray) -> DecodeResult:
         """Decode a received ``n``-symbol word."""
 
+    def decode_batch(self, words: np.ndarray) -> list[DecodeResult]:
+        """Decode a ``(batch, n)`` matrix of received words.
+
+        The contract is element-wise equivalence with :meth:`decode`; codes
+        with a vectorisable decoder override this with a batched kernel (the
+        Monte-Carlo engines feed whole trial batches through it).
+        """
+        return [self.decode(word) for word in np.asarray(words)]
+
     def is_codeword(self, word: np.ndarray) -> bool:
         """Whether ``word`` is a valid codeword (default: re-encode check)."""
         word = np.asarray(word)

@@ -20,6 +20,15 @@ magnitudes -> verification re-check.  Decoding is bounded-distance: words
 beyond half the design distance are usually *detected* but can miscorrect
 with the (physically real) probability that the reliability analysis cares
 about.
+
+Decoding is batched-first: :meth:`decode_batch` computes all syndromes in
+one vectorised pass (see :mod:`repro.galois.batch`), short-circuits the
+overwhelmingly common all-zero-syndrome rows, runs the scalar key-equation
+solver only on the dirty minority, and batch-verifies every candidate
+correction.  The scalar :meth:`decode` is a one-row batch, so both paths are
+the same code by construction.  The solver itself works on plain-int
+coefficient lists (numpy per-call overhead dominates at these tiny
+polynomial degrees) with Chien-search tables cached per ``(field, n)``.
 """
 
 from __future__ import annotations
@@ -27,12 +36,125 @@ from __future__ import annotations
 import numpy as np
 
 from ..galois import poly
+from ..galois.batch import batch_syndromes, syndrome_tables
 from ..galois.gf2m import GF2m
 from .base import BlockCode, DecodeResult, DecodeStatus
 
 
 class RSDecodeFailure(Exception):
     """Internal signal: the key-equation solver could not produce a locator."""
+
+
+# -- plain-int polynomial helpers (ascending-degree coefficient lists) -------
+#
+# The key-equation solver manipulates polynomials of degree <= r (tens of
+# coefficients).  At that size, numpy array construction costs more than the
+# arithmetic; plain Python lists are ~15x faster and bit-identical (GF
+# arithmetic is exact).  ``mt`` below is the field's row-indexed
+# multiplication table (``field.mul_rows()``): ``mt[a][b] == mul(a, b)`` at
+# the cost of one list index per product.
+
+
+def _ptrim(p: list[int]) -> list[int]:
+    """Drop trailing (high-degree) zero coefficients; zero poly -> [0]."""
+    i = len(p) - 1
+    while i > 0 and p[i] == 0:
+        i -= 1
+    return p[: i + 1]
+
+
+def _pdeg(p: list[int]) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    for i in range(len(p) - 1, -1, -1):
+        if p[i]:
+            return i
+    return -1
+
+
+def _pmul(a: list[int], b: list[int], mt) -> list[int]:
+    """Schoolbook polynomial product over the field."""
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai:
+            row = mt[ai]
+            for j, bj in enumerate(b):
+                out[i + j] ^= row[bj]
+    return out
+
+
+def _padd(a: list[int], b: list[int]) -> list[int]:
+    """Polynomial addition (coefficientwise XOR)."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, bi in enumerate(b):
+        out[i] ^= bi
+    return out
+
+
+def _pmul_low(a: list[int], b: list[int], limit: int, mt) -> list[int]:
+    """Low coefficients of the product: ``(a * b) mod x^limit``."""
+    out = [0] * min(len(a) + len(b) - 1, limit)
+    top = len(out)
+    for i, ai in enumerate(a):
+        if i >= top:
+            break
+        if ai:
+            row = mt[ai]
+            for j, bj in enumerate(b):
+                if i + j >= top:
+                    break
+                out[i + j] ^= row[bj]
+    return out
+
+
+def _peval(p: list[int], x: int, mt) -> int:
+    """Evaluate ``p`` at nonzero ``x`` via Horner's rule."""
+    acc = 0
+    row = mt[x]
+    for coeff in reversed(p):
+        acc = row[acc] ^ coeff
+    return acc
+
+
+# -- Chien-search tables, cached per (field, n) ------------------------------
+#
+# A Chien search evaluates the locator at every point ``alpha^-c`` for
+# ``c = 0..n-1``.  Both the point array and the log-domain power matrix
+# ``logm[j, c] = log(alpha^(-c*j))`` are cached so scalar decodes stop
+# rebuilding them per call; the evaluation itself is one fancy-indexed
+# exp-lookup over the locator's nonzero coefficients, XOR-reduced.
+
+_CHIEN_CACHE: dict[tuple[GF2m, int], dict[str, np.ndarray]] = {}
+
+
+def chien_points(field: GF2m, n: int) -> np.ndarray:
+    """Cached evaluation points ``alpha^-c`` for ``c = 0..n-1``."""
+    return _chien_tables(field, n, 1)["points"]
+
+
+def _chien_tables(field: GF2m, n: int, degree: int) -> dict[str, np.ndarray]:
+    key = (field, n)
+    entry = _CHIEN_CACHE.get(key)
+    need = degree + 1
+    if entry is None or entry["logm"].shape[0] < need:
+        rows = max(need, 2 * entry["logm"].shape[0] if entry else 8)
+        c = np.arange(n, dtype=np.int64)
+        j = np.arange(rows, dtype=np.int64)
+        logm = (-(j[:, None] * c[None, :])) % (field.order - 1)
+        entry = {"logm": logm, "points": field._exp[logm[1] if rows > 1 else logm[0]]}
+        _CHIEN_CACHE[key] = entry
+    return entry
+
+
+def _chien_roots(field: GF2m, n: int, psi: list[int]) -> np.ndarray:
+    """Coefficient indices ``c`` in ``0..n-1`` with ``psi(alpha^-c) = 0``."""
+    logm = _chien_tables(field, n, len(psi) - 1)["logm"]
+    log = field._log_list
+    nz = [j for j, cj in enumerate(psi) if cj]
+    logs = np.array([log[psi[j]] for j in nz], dtype=np.int64)
+    values = np.bitwise_xor.reduce(field._exp[logm[nz] + logs[:, None]], axis=0)
+    return np.flatnonzero(values == 0)
 
 
 def _solve_key_equation(
@@ -68,75 +190,127 @@ def _solve_key_equation(
         When no locator consistent with the syndromes exists within the
         bounded-distance budget (caller reports detection).
     """
+    exp = field._exp_list
+    log = field._log_list
+    mt = field.mul_rows()
+    q1 = field.order - 1
     r = len(syndromes)
     f = len(erasure_coeffs)
     if f > r:
         raise RSDecodeFailure("more erasures than redundancy")
-    s_poly = poly.trim(np.asarray(syndromes, dtype=np.int64))
-    if poly.is_zero(s_poly) and f == 0:
+    s_list = syndromes.tolist() if isinstance(syndromes, np.ndarray) else [
+        int(s) for s in syndromes
+    ]
+    s_poly = _ptrim(s_list)
+    if _pdeg(s_poly) == -1 and f == 0:
         return []
 
-    # Erasure locator Gamma(x) = prod (1 - X_e x).
-    gamma = np.array([1], dtype=np.int64)
-    for c in erasure_coeffs:
-        x_e = field.alpha_pow(c)
-        gamma = poly.mul(field, gamma, np.array([1, x_e], dtype=np.int64))
-
-    # Modified syndrome Xi = S * Gamma mod x^r.
-    xi = poly.mul(field, s_poly, gamma)[:r]
-    xi = poly.trim(xi)
+    # Erasure locator Gamma(x) = prod (1 - X_e x); Xi = S * Gamma mod x^r.
+    # The erasure-free case (the overwhelming majority) skips the products:
+    # Gamma = 1 makes Xi = S outright.
+    if f:
+        gamma = [1]
+        for c in erasure_coeffs:
+            gamma = _pmul(gamma, [1, exp[c % q1]], mt)
+        xi = _ptrim(_pmul(s_poly, gamma, mt)[:r])
+    else:
+        gamma = [1]
+        xi = s_poly  # already trimmed, degree < r
 
     # Sugiyama: run extended Euclid on (x^r, Xi) until deg(rem) < (r + f) / 2.
+    # The division is fused into the loop with degrees tracked incrementally
+    # (no per-step trim scans); the arithmetic is step-for-step that of
+    # _pdivmod, so the (q, rem) sequence - and hence sigma - is identical.
     target = (r + f) / 2.0
-    r_prev = np.zeros(r + 1, dtype=np.int64)
-    r_prev[r] = 1  # x^r
-    r_cur = xi
-    t_prev = np.array([0], dtype=np.int64)
-    t_cur = np.array([1], dtype=np.int64)
-    while poly.degree(r_cur) >= target:
-        if poly.is_zero(r_cur):
-            raise RSDecodeFailure("euclidean remainder vanished early")
-        q, rem = poly.divmod_(field, r_prev, r_cur)
-        t_next = poly.add(field, t_prev, poly.mul(field, q, t_cur))
-        r_prev, r_cur = r_cur, rem
-        t_prev, t_cur = t_cur, t_next
-    sigma = poly.trim(t_cur)
+    rp: list[int] = [0] * r + [1]  # x^r
+    drp = r
+    rc = xi
+    drc = _pdeg(rc)
+    tp: list[int] = [0]
+    tc: list[int] = [1]
+    while drc >= target:
+        # drc >= target >= 0 implies rc is nonzero, so the reference
+        # implementation's "euclidean remainder vanished early" guard can
+        # never fire; the bounded-distance checks below catch those words.
+        a = rp[:]
+        qd = drp - drc
+        q = [0] * (qd + 1)
+        inv_lead_log = (q1 - log[rc[drc]]) % q1
+        for i in range(qd, -1, -1):
+            lead = a[i + drc]
+            if lead:
+                coeff = exp[log[lead] + inv_lead_log]
+                q[i] = coeff
+                row = mt[coeff]
+                for j in range(drc):
+                    a[i + j] ^= row[rc[j]]
+                a[i + drc] = 0
+        drem = drc - 1
+        while drem >= 0 and a[drem] == 0:
+            drem -= 1
+        t_next = _padd(tp, _pmul(q, tc, mt))
+        rp, drp = rc, drc
+        rc, drc = a[:drc] if drc > 0 else [0], drem
+        tp, tc = tc, t_next
+    sigma = _ptrim(tc)
     if sigma[0] == 0:
         raise RSDecodeFailure("error locator has zero constant term")
-    if poly.degree(sigma) > (r - f) // 2:
+    if _pdeg(sigma) > (r - f) // 2:
         raise RSDecodeFailure("error locator degree exceeds capability")
 
     # Combined locator covers both errors and erasures.
-    psi = poly.mul(field, sigma, gamma)
-    nu = poly.degree(psi)
+    psi = _pmul(sigma, gamma, mt) if f else sigma
+    nu = _pdeg(psi)
     if nu == 0:
         return []
 
     # Chien search over valid coefficient indices only (shortened support).
-    idxs = np.arange(n, dtype=np.int64)
-    points = np.array([field.alpha_pow(-int(c)) for c in idxs], dtype=np.int64)
-    values = poly.evaluate_many(field, psi, points)
-    roots = idxs[values == 0]
+    roots = _chien_roots(field, n, psi)
     if roots.size != nu:
         raise RSDecodeFailure("locator roots do not match its degree")
 
     # Forney: e_c = X^(1-fcr) * Omega(X^-1) / Psi'(X^-1),  X = alpha^c.
-    omega = poly.trim(poly.mul(field, s_poly, psi)[:r])
-    psi_deriv = poly.derivative(field, psi)
+    omega = _ptrim(_pmul_low(s_poly, psi, r, mt))
+    psi_deriv = psi[1:]
+    psi_deriv[1::2] = [0] * len(psi_deriv[1::2])
     corrections: list[tuple[int, int]] = []
     for c in roots:
         c = int(c)
-        x_inv = field.alpha_pow(-c)
-        denom = poly.evaluate(field, psi_deriv, x_inv)
+        x_inv = exp[(-c) % q1]
+        denom = _peval(psi_deriv, x_inv, mt)
         if denom == 0:
             raise RSDecodeFailure("repeated locator root (derivative vanished)")
-        num = poly.evaluate(field, omega, x_inv)
-        magnitude = field.mul(field.pow(field.alpha_pow(c), 1 - fcr), field.div(num, denom))
+        num = _peval(omega, x_inv, mt)
+        if num == 0:
+            magnitude = 0
+        else:
+            # X^(1-fcr) * num / denom, all in the log domain.
+            factor_log = ((c % q1) * (1 - fcr)) % q1
+            magnitude = exp[factor_log + exp_log_div(log, num, denom, q1)]
         if magnitude == 0 and c not in erasure_coeffs:
             raise RSDecodeFailure("zero magnitude at a claimed error location")
         if magnitude != 0:
-            corrections.append((c, int(magnitude)))
+            corrections.append((c, magnitude))
     return corrections
+
+
+def exp_log_div(log: list[int], a: int, b: int, q1: int) -> int:
+    """Log of ``a / b`` for nonzero field elements, in ``[0, q1)``."""
+    return (log[a] - log[b] + q1) % q1
+
+
+def _normalize_erasures(
+    erasures, batch: int
+) -> list[tuple[int, ...]]:
+    """Per-word erasure tuples for a batch (None -> no erasures anywhere)."""
+    if erasures is None:
+        return [()] * batch
+    erasures = list(erasures)
+    if len(erasures) != batch:
+        raise ValueError(
+            f"expected one erasure tuple per word ({batch}), got {len(erasures)}"
+        )
+    return [tuple(e) for e in erasures]
 
 
 class ReedSolomonCode(BlockCode):
@@ -173,7 +347,6 @@ class ReedSolomonCode(BlockCode):
         self.generator = poly.from_roots(
             field, [field.alpha_pow(fcr + j) for j in range(n - k)]
         )
-        self._synd_powers: np.ndarray | None = None
         self._impulse_parities: np.ndarray | None = None
 
     @property
@@ -218,18 +391,13 @@ class ReedSolomonCode(BlockCode):
     def syndromes(self, received: np.ndarray) -> np.ndarray:
         """``S_j = R(alpha^(fcr+j))`` for j in 0..r-1.
 
-        Uses a cached power matrix so the common clean-word screen is one
-        vectorised multiply-XOR pass rather than a Horner loop.
+        Uses the cached Vandermonde power matrix (shared per
+        ``(field, n, r, fcr)`` across instances) so the common clean-word
+        screen is one vectorised multiply-XOR pass rather than a Horner loop.
         """
-        if self._synd_powers is None:
-            coeff = np.arange(self.n - 1, -1, -1, dtype=np.int64)  # per position
-            rows = []
-            for j in range(self.r):
-                exps = ((self.fcr + j) * coeff) % (self.field.order - 1)
-                rows.append(self.field._exp[exps])
-            self._synd_powers = np.stack(rows)
+        powers, _ = syndrome_tables(self.field, self.n, self.r, self.fcr)
         received = np.asarray(received, dtype=np.int64)
-        products = self.field.mul(self._synd_powers, received[None, :])
+        products = self.field.mul(powers, received[None, :])
         return np.bitwise_xor.reduce(products, axis=1)
 
     def impulse_parities(self) -> np.ndarray:
@@ -272,36 +440,78 @@ class ReedSolomonCode(BlockCode):
         received = np.asarray(received, dtype=np.int64)
         if received.shape != (self.n,):
             raise ValueError(f"expected {self.n} symbols, got shape {received.shape}")
-        synd = self.syndromes(received)
-        if not np.any(synd) and not erasures:
-            return DecodeResult(
-                DecodeStatus.OK, received[: self.k].copy(), codeword=received.copy()
+        return self.decode_batch(received[None, :], (tuple(erasures),))[0]
+
+    def decode_batch(
+        self, words: np.ndarray, erasures=None
+    ) -> list[DecodeResult]:
+        """Decode a ``(batch, n)`` matrix of received words.
+
+        Element-wise identical to calling :meth:`decode` per row (the scalar
+        path *is* a one-row batch): syndromes are computed for the whole
+        batch in one vectorised pass, all-zero-syndrome rows short-circuit to
+        ``OK``, the scalar key-equation solver runs only on the dirty
+        minority, and the post-correction verification re-check is batched
+        over every candidate.
+
+        ``erasures``, when given, is one tuple of codeword positions per row.
+        """
+        words = np.asarray(words, dtype=np.int64)
+        if words.ndim != 2 or words.shape[1] != self.n:
+            raise ValueError(f"expected (batch, {self.n}) matrix, got {words.shape}")
+        per_word_erasures = _normalize_erasures(erasures, words.shape[0])
+        synds = batch_syndromes(self.field, words, self.r, self.fcr)
+        results: list[DecodeResult | None] = [None] * words.shape[0]
+        candidates: list[tuple[int, np.ndarray, list[int]]] = []
+        for i in range(words.shape[0]):
+            received = words[i]
+            ers = per_word_erasures[i]
+            if not synds[i].any() and not ers:
+                results[i] = DecodeResult(
+                    DecodeStatus.OK, received[: self.k].copy(), codeword=received.copy()
+                )
+                continue
+            erasure_coeffs = tuple(self.coeff_of_position(p) for p in ers)
+            try:
+                corrections = _solve_key_equation(
+                    self.field, synds[i], erasure_coeffs, self.fcr, self.n
+                )
+            except RSDecodeFailure:
+                results[i] = DecodeResult(
+                    DecodeStatus.DETECTED, received[: self.k].copy()
+                )
+                continue
+            corrected = received.copy()
+            positions = []
+            for coeff_idx, magnitude in corrections:
+                pos = self.position_of_coeff(coeff_idx)
+                corrected[pos] ^= magnitude
+                positions.append(pos)
+            candidates.append((i, corrected, positions))
+        if candidates:
+            verify = batch_syndromes(
+                self.field,
+                np.stack([c for _, c, _ in candidates]),
+                self.r,
+                self.fcr,
             )
-        erasure_coeffs = tuple(self.coeff_of_position(p) for p in erasures)
-        try:
-            corrections = _solve_key_equation(
-                self.field, synd, erasure_coeffs, self.fcr, self.n
-            )
-        except RSDecodeFailure:
-            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
-        corrected = received.copy()
-        positions = []
-        for coeff_idx, magnitude in corrections:
-            pos = self.position_of_coeff(coeff_idx)
-            corrected[pos] ^= magnitude
-            positions.append(pos)
-        if np.any(self.syndromes(corrected)):
-            return DecodeResult(DecodeStatus.DETECTED, received[: self.k].copy())
-        if not positions:
-            return DecodeResult(
-                DecodeStatus.OK, corrected[: self.k].copy(), codeword=corrected
-            )
-        return DecodeResult(
-            DecodeStatus.CORRECTED,
-            corrected[: self.k].copy(),
-            tuple(sorted(positions)),
-            codeword=corrected,
-        )
+            for (i, corrected, positions), check in zip(candidates, verify):
+                if check.any():
+                    results[i] = DecodeResult(
+                        DecodeStatus.DETECTED, words[i][: self.k].copy()
+                    )
+                elif not positions:
+                    results[i] = DecodeResult(
+                        DecodeStatus.OK, corrected[: self.k].copy(), codeword=corrected
+                    )
+                else:
+                    results[i] = DecodeResult(
+                        DecodeStatus.CORRECTED,
+                        corrected[: self.k].copy(),
+                        tuple(sorted(positions)),
+                        codeword=corrected,
+                    )
+        return results
 
     def shortened(self, n: int, k: int) -> "ReedSolomonCode":
         """A shortened sibling sharing field/fcr (same decoder hardware)."""
@@ -381,68 +591,131 @@ class SinglyExtendedRS(BlockCode):
             return None
         return corrections
 
+    def _apply(
+        self, inner_rx: np.ndarray, corrections: list[tuple[int, int]]
+    ) -> tuple[np.ndarray, list[int]]:
+        corrected = inner_rx.copy()
+        positions = []
+        for coeff_idx, mag in corrections:
+            pos = self.inner.position_of_coeff(coeff_idx)
+            corrected[pos] ^= mag
+            positions.append(pos)
+        return corrected, positions
+
     def decode(self, received: np.ndarray, erasures: tuple[int, ...] = ()) -> DecodeResult:
         received = np.asarray(received, dtype=np.int64)
         if received.shape != (self.n,):
             raise ValueError(f"expected {self.n} symbols, got shape {received.shape}")
-        inner_rx = received[:-1]
-        ext_rx = int(received[-1])
-        ext_erased = (self.n - 1) in erasures
-        inner_erasures = tuple(p for p in erasures if p < self.n - 1)
+        return self.decode_batch(received[None, :], (tuple(erasures),))[0]
 
-        synd_inner = self.inner.syndromes(inner_rx)  # S_1 .. S_r (fcr=1)
-        s0 = int(np.bitwise_xor.reduce(inner_rx)) ^ ext_rx  # e(1) ^ e_ext
+    def decode_batch(
+        self, words: np.ndarray, erasures=None
+    ) -> list[DecodeResult]:
+        """Decode a ``(batch, n)`` matrix of received extended words.
 
-        # Case A: extension symbol assumed correct -> S_0 is a true syndrome,
-        # giving r+1 consecutive syndromes starting at alpha^0.
-        if not ext_erased:
-            synd_a = np.concatenate([[s0], synd_inner])
-            corrections = self._try_case(synd_a, 0, inner_erasures)
-            if corrections is not None:
-                corrected = inner_rx.copy()
-                positions = []
-                for coeff_idx, mag in corrections:
-                    pos = self.inner.position_of_coeff(coeff_idx)
-                    corrected[pos] ^= mag
-                    positions.append(pos)
-                ok = not np.any(self.inner.syndromes(corrected))
-                ok = ok and int(np.bitwise_xor.reduce(corrected)) == ext_rx
-                if ok:
+        Element-wise identical to per-row :meth:`decode`.  Inner syndromes
+        and the extension check ``S_0`` are computed for the whole batch in
+        one pass; clean rows short-circuit; dirty rows run the two-hypothesis
+        scalar solve (extension clean, then extension corrupted), with each
+        hypothesis's verification re-check batched across the rows that
+        reached it.
+        """
+        words = np.asarray(words, dtype=np.int64)
+        if words.ndim != 2 or words.shape[1] != self.n:
+            raise ValueError(f"expected (batch, {self.n}) matrix, got {words.shape}")
+        per_word_erasures = _normalize_erasures(erasures, words.shape[0])
+        inner_words = words[:, :-1]
+        synds = batch_syndromes(self.field, inner_words, self.inner.r, 1)
+        # S_0 = e(1) ^ e_ext: XOR of every symbol including the extension.
+        s0s = np.bitwise_xor.reduce(words, axis=1)
+        results: list[DecodeResult | None] = [None] * words.shape[0]
+        case_b: list[int] = []
+        a_candidates: list[tuple[int, np.ndarray, list[int]]] = []
+        for i in range(words.shape[0]):
+            ers = per_word_erasures[i]
+            if not synds[i].any() and s0s[i] == 0 and not ers:
+                results[i] = DecodeResult(
+                    DecodeStatus.OK,
+                    words[i][: self.k].copy(),
+                    codeword=words[i].copy(),
+                )
+                continue
+            # Case A: extension symbol assumed correct -> S_0 is a true
+            # syndrome, giving r+1 consecutive syndromes starting at alpha^0.
+            if (self.n - 1) in ers:
+                case_b.append(i)
+                continue
+            inner_ers = tuple(p for p in ers if p < self.n - 1)
+            synd_a = np.concatenate([[s0s[i]], synds[i]])
+            corrections = self._try_case(synd_a, 0, inner_ers)
+            if corrections is None:
+                case_b.append(i)
+                continue
+            corrected, positions = self._apply(inner_words[i], corrections)
+            a_candidates.append((i, corrected, positions))
+        if a_candidates:
+            verify = batch_syndromes(
+                self.field,
+                np.stack([c for _, c, _ in a_candidates]),
+                self.inner.r,
+                1,
+            )
+            for (i, corrected, positions), check in zip(a_candidates, verify):
+                ext_rx = int(words[i, -1])
+                if not check.any() and int(np.bitwise_xor.reduce(corrected)) == ext_rx:
                     status = DecodeStatus.CORRECTED if positions else DecodeStatus.OK
-                    full = np.concatenate([corrected, [ext_rx]])
-                    return DecodeResult(
+                    results[i] = DecodeResult(
                         status,
                         corrected[: self.k].copy(),
                         tuple(sorted(positions)),
-                        codeword=full,
+                        codeword=np.concatenate([corrected, [ext_rx]]),
                     )
-
+                else:
+                    case_b.append(i)
         # Case B: extension symbol corrupted (or erased) -> it costs one unit
         # of the distance budget; decode the inner word alone.
-        corrections = self._try_case(synd_inner, 1, inner_erasures)
-        if corrections is not None:
-            corrected = inner_rx.copy()
-            positions = []
-            for coeff_idx, mag in corrections:
-                pos = self.inner.position_of_coeff(coeff_idx)
-                corrected[pos] ^= mag
-                positions.append(pos)
-            if not np.any(self.inner.syndromes(corrected)):
+        b_candidates: list[tuple[int, np.ndarray, list[int]]] = []
+        for i in case_b:
+            ers = per_word_erasures[i]
+            inner_ers = tuple(p for p in ers if p < self.n - 1)
+            corrections = self._try_case(synds[i], 1, inner_ers)
+            if corrections is None:
+                results[i] = DecodeResult(
+                    DecodeStatus.DETECTED, inner_words[i][: self.k].copy()
+                )
+                continue
+            corrected, positions = self._apply(inner_words[i], corrections)
+            b_candidates.append((i, corrected, positions))
+        if b_candidates:
+            verify = batch_syndromes(
+                self.field,
+                np.stack([c for _, c, _ in b_candidates]),
+                self.inner.r,
+                1,
+            )
+            for (i, corrected, positions), check in zip(b_candidates, verify):
+                if check.any():
+                    results[i] = DecodeResult(
+                        DecodeStatus.DETECTED, inner_words[i][: self.k].copy()
+                    )
+                    continue
                 true_ext = int(np.bitwise_xor.reduce(corrected))
+                ext_rx = int(words[i, -1])
                 if true_ext != ext_rx:
                     positions.append(self.n - 1)
                 full = np.concatenate([corrected, [true_ext]])
                 if positions:
-                    return DecodeResult(
+                    results[i] = DecodeResult(
                         DecodeStatus.CORRECTED,
                         corrected[: self.k].copy(),
                         tuple(sorted(positions)),
                         codeword=full,
                     )
-                return DecodeResult(
-                    DecodeStatus.OK, corrected[: self.k].copy(), codeword=full
-                )
-        return DecodeResult(DecodeStatus.DETECTED, inner_rx[: self.k].copy())
+                else:
+                    results[i] = DecodeResult(
+                        DecodeStatus.OK, corrected[: self.k].copy(), codeword=full
+                    )
+        return results
 
     def shortened(self, n: int, k: int) -> "SinglyExtendedRS":
         """Shortened extended code with the same redundancy (mother decoder)."""

@@ -67,6 +67,23 @@ class DramDevice:
                 data ^= mask
         return data
 
+    def row_is_clean(self, bank: int, row: int) -> bool:
+        """True when a read of the row would return all zeros.
+
+        Lets batched readers skip the decode entirely for untouched,
+        fault-free rows (the common case in Monte-Carlo runs): the stored
+        contents are absent or zero and the overlay has no mask for the row.
+        """
+        self._check_coords(bank, row)
+        stored = self._rows.get((bank, row))
+        if stored is not None and stored.any():
+            return False
+        if self.fault_overlay is not None:
+            mask = self.fault_overlay.mask_for_row(bank, row, self._row_shape)
+            if mask is not None:
+                return False
+        return True
+
     @property
     def touched_rows(self) -> int:
         return len(self._rows)

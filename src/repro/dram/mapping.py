@@ -68,6 +68,17 @@ class SegmentedLayout:
         shifts = np.arange(self.symbol_bits, dtype=np.int64)
         return (bits.astype(np.int64) << shifts).sum(axis=-1)
 
+    def gather_many(self, row: np.ndarray, codewords) -> np.ndarray:
+        """Symbols of several codewords at once, shape ``(len(codewords), n)``.
+
+        One fancy-indexed gather for the whole group - the batched read path
+        uses this to pull every codeword of an access in a single pass.
+        """
+        cws = np.asarray(codewords, dtype=np.int64)
+        bits = row[self._pin_index[cws], self._bit_index[cws]]
+        shifts = np.arange(self.symbol_bits, dtype=np.int64)
+        return (bits.astype(np.int64) << shifts).sum(axis=-1)
+
     def scatter(self, row: np.ndarray, codeword: int, symbols: np.ndarray) -> None:
         """Write the symbols of one codeword back into a row bit matrix."""
         symbols = np.asarray(symbols, dtype=np.int64)

@@ -1,6 +1,7 @@
 """Galois-field substrate: GF(2^m) arithmetic, polynomials, GF(2) linear algebra."""
 
-from . import linalg2, poly
+from . import batch, linalg2, poly
+from .batch import batch_syndromes, syndrome_tables
 from .gf2m import GF256, GF2m, PRIMITIVE_POLYNOMIALS, get_field
 
 __all__ = [
@@ -10,4 +11,7 @@ __all__ = [
     "get_field",
     "poly",
     "linalg2",
+    "batch",
+    "batch_syndromes",
+    "syndrome_tables",
 ]

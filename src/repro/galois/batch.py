@@ -1,0 +1,96 @@
+"""Batched GF(2^m) kernels for array-at-a-time Reed-Solomon decoding.
+
+The Monte-Carlo reliability engines decode millions of codewords, the
+overwhelming majority of which are clean.  These kernels turn the per-word
+syndrome pass - the screen that separates clean words from the dirty
+minority - into one log-domain matrix multiply over the whole batch:
+
+    S = C . V^T
+
+where ``C`` is the ``(batch, n)`` received-word matrix and ``V`` the
+``(r, n)`` Vandermonde matrix of generator-root powers.  ``V`` (and its log
+table) is cached per ``(field, n, r, fcr)``; products are computed as
+``exp[log C + log V]`` with zero masking, XOR-reduced along the symbol axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf2m import GF2m
+
+# Keyed by (field, n, r, fcr); GF2m hashes by (m, poly) so unpickled field
+# instances in worker processes still hit the same entries.
+_VANDERMONDE_CACHE: dict[tuple[GF2m, int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def syndrome_tables(field: GF2m, n: int, r: int, fcr: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``(V, logV)`` Vandermonde tables for syndrome computation.
+
+    ``V[j, pos] = alpha^((fcr + j) * coeff)`` with ``coeff = n - 1 - pos``
+    (codeword position ``pos`` holds polynomial coefficient ``n - 1 - pos``),
+    so ``S_j = XOR_pos mul(word[pos], V[j, pos])``.  ``logV`` holds the
+    discrete logs, precomputed for the log-domain batch multiply.
+    """
+    key = (field, n, r, fcr)
+    cached = _VANDERMONDE_CACHE.get(key)
+    if cached is None:
+        coeff = np.arange(n - 1, -1, -1, dtype=np.int64)
+        exps = ((fcr + np.arange(r, dtype=np.int64)[:, None]) * coeff[None, :]) % (
+            field.order - 1
+        )
+        v = field._exp[exps]
+        cached = (v, exps)  # log(alpha^e) = e for e in [0, order-1)
+        _VANDERMONDE_CACHE[key] = cached
+    return cached
+
+
+def batch_syndromes(
+    field: GF2m, words: np.ndarray, r: int, fcr: int, chunk: int = 2048
+) -> np.ndarray:
+    """Syndromes of a whole batch of received words in one vectorised pass.
+
+    ``words`` is ``(batch, n)``; returns ``(batch, r)`` with
+    ``out[b, j] = R_b(alpha^(fcr + j))``.  Rows that are entirely zero are
+    skipped outright (their syndromes are zero by linearity) - in the
+    Monte-Carlo engines that is the common case, so the multiply only runs
+    over the nonzero minority, ``chunk`` rows at a time to bound the
+    ``(chunk, r, n)`` intermediate.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    if words.ndim != 2:
+        raise ValueError(f"expected (batch, n) matrix, got {words.shape}")
+    batch, n = words.shape
+    out = np.zeros((batch, r), dtype=np.int64)
+    if r == 0 or n == 0:
+        return out
+    nonzero = words != 0
+    nnz_per_row = nonzero.sum(axis=1)
+    dirty = np.flatnonzero(nnz_per_row)
+    if dirty.size == 0:
+        return out
+    _, logv = syndrome_tables(field, n, r, fcr)
+    nnz = int(nnz_per_row.sum())
+    if nnz * 8 <= dirty.size * n:
+        # Sparse rows (e.g. controlled error-injection words): work on the
+        # nonzero entries only - O(nnz * r) instead of O(rows * n * r).
+        rows, poss = np.nonzero(words)  # row-major, so `rows` is sorted
+        prod = field._exp[field._log[words[rows, poss]][:, None] + logv[:, poss].T]
+        starts = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
+        out[rows[starts]] = np.bitwise_xor.reduceat(prod, starts, axis=0)
+        return out
+    for start in range(0, dirty.size, chunk):
+        rows = dirty[start : start + chunk]
+        sub = words[rows]  # (c, n)
+        logw = field._log[sub]  # (c, n); log[0] = -1 sentinel
+        # exp is laid out so any index in [-1, 2*(order-1)) is safe to read;
+        # products at zero symbols are masked out before the reduction.
+        prod = field._exp[logw[:, None, :] + logv[None, :, :]]
+        prod[np.broadcast_to((sub == 0)[:, None, :], prod.shape)] = 0
+        out[rows] = np.bitwise_xor.reduce(prod, axis=2)
+    return out
+
+
+def clear_cache() -> None:
+    """Drop cached Vandermonde tables (tests use this)."""
+    _VANDERMONDE_CACHE.clear()

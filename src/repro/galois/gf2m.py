@@ -87,6 +87,12 @@ class GF2m:
         log[0] = -1  # sentinel: log of zero is undefined
         self._exp = exp
         self._log = log
+        # Plain-list mirrors of the tables: indexing a Python list with a
+        # Python int is ~5x faster than indexing a numpy array, which is what
+        # the scalar Reed-Solomon key-equation solver spends its time on.
+        self._exp_list: list[int] = exp.tolist()
+        self._log_list: list[int] = log.tolist()
+        self._mul_rows_cache: list[list[int]] | _OnTheFlyMulRows | None = None
 
     # -- scalar/array arithmetic ------------------------------------------
 
@@ -156,6 +162,27 @@ class GF2m:
         """Return ``alpha^e`` for the primitive element alpha."""
         return int(self._exp[e % (self.order - 1)])
 
+    def mul_rows(self):
+        """Row-indexed multiplication table: ``mul_rows()[a][b] == mul(a, b)``.
+
+        For small fields (order <= 4096) this is a dense list-of-lists, so the
+        scalar RS solver's inner loops pay one list index per product instead
+        of two table lookups plus an add.  Larger fields get an on-the-fly
+        view with identical semantics (a dense table would not fit memory).
+        Built lazily on first use.
+        """
+        if self._mul_rows_cache is None:
+            if self.order <= 4096:
+                exp, log = self._exp_list, self._log_list
+                rows: list[list[int]] = [[0] * self.order]
+                for a in range(1, self.order):
+                    la = log[a]
+                    rows.append([0] + [exp[la + log[b]] for b in range(1, self.order)])
+                self._mul_rows_cache = rows
+            else:
+                self._mul_rows_cache = _OnTheFlyMulRows(self._exp_list, self._log_list)
+        return self._mul_rows_cache
+
     def log(self, a: int) -> int:
         """Discrete log base alpha of a nonzero element."""
         if a == 0:
@@ -181,6 +208,12 @@ class GF2m:
         shifts = np.arange(bits.shape[-1], dtype=np.int64)
         return (bits << shifts).sum(axis=-1)
 
+    def __reduce__(self):
+        # Pickle as a get_field call: workers rehydrate the process-local
+        # cached instance (tables, mult rows and all) instead of shipping
+        # megabytes of tables across the process boundary.
+        return (get_field, (self.m, self.poly))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, GF2m) and other.m == self.m and other.poly == self.poly
 
@@ -191,11 +224,46 @@ class GF2m:
         return f"GF2m(m={self.m}, poly={self.poly:#x})"
 
 
-_FIELD_CACHE: dict[tuple[int, int | None], GF2m] = {}
+class _OnTheFlyMulRow:
+    """One multiplier row computed through the exp/log tables on demand."""
+
+    __slots__ = ("_exp", "_log", "_la")
+
+    def __init__(self, exp: list[int], log: list[int], la: int):
+        self._exp = exp
+        self._log = log
+        self._la = la
+
+    def __getitem__(self, b: int) -> int:
+        return self._exp[self._la + self._log[b]] if b and self._la >= 0 else 0
+
+
+class _OnTheFlyMulRows:
+    """Large-field stand-in for the dense multiplication table."""
+
+    __slots__ = ("_exp", "_log")
+
+    def __init__(self, exp: list[int], log: list[int]):
+        self._exp = exp
+        self._log = log
+
+    def __getitem__(self, a: int):
+        return _OnTheFlyMulRow(self._exp, self._log, self._log[a])
+
+
+_FIELD_CACHE: dict[tuple[int, int], GF2m] = {}
 
 
 def get_field(m: int, primitive_poly: int | None = None) -> GF2m:
-    """Return a cached ``GF2m`` instance (tables are expensive to rebuild)."""
+    """Return a cached ``GF2m`` instance (tables are expensive to rebuild).
+
+    The cache is keyed on the *resolved* primitive polynomial, so
+    ``get_field(8)`` and ``get_field(8, 0x11D)`` return the same instance.
+    """
+    if primitive_poly is None:
+        if m not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(f"no default primitive polynomial for m={m}")
+        primitive_poly = PRIMITIVE_POLYNOMIALS[m]
     key = (m, primitive_poly)
     if key not in _FIELD_CACHE:
         _FIELD_CACHE[key] = GF2m(m, primitive_poly)

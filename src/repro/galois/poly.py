@@ -99,11 +99,34 @@ def evaluate(field: GF2m, p: np.ndarray, x: int) -> int:
 
 
 def evaluate_many(field: GF2m, p: np.ndarray, xs: np.ndarray) -> np.ndarray:
-    """Evaluate ``p`` at every point of the array ``xs`` (vectorised Horner)."""
+    """Evaluate ``p`` at every point of the array ``xs`` (vectorised Horner).
+
+    ``xs`` may have any shape (1-D point lists, 2-D point grids, ...); the
+    result has the same shape, evaluated elementwise.
+    """
     xs = np.asarray(xs, dtype=np.int64)
     acc = np.zeros_like(xs)
     for coeff in np.asarray(p)[::-1]:
         acc = np.asarray(field.mul(acc, xs)) ^ int(coeff)
+    return acc
+
+
+def evaluate_batch(field: GF2m, polys: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Evaluate a batch of polynomials at shared points in one Horner pass.
+
+    ``polys`` is a ``(batch, max_len)`` matrix of ascending-degree
+    coefficients (rows zero-padded to a common length); ``xs`` is a 1-D array
+    of evaluation points.  Returns ``(batch, len(xs))`` with
+    ``out[b, i] = polys[b](xs[i])``.  This is the batched Chien-search
+    kernel: one vectorised sweep replaces ``batch`` scalar evaluations.
+    """
+    polys = np.asarray(polys, dtype=np.int64)
+    if polys.ndim != 2:
+        raise ValueError(f"expected (batch, coeffs) matrix, got {polys.shape}")
+    xs = np.asarray(xs, dtype=np.int64)
+    acc = np.zeros((polys.shape[0], xs.size), dtype=np.int64)
+    for i in range(polys.shape[1] - 1, -1, -1):
+        acc = np.asarray(field.mul(acc, xs[None, :])) ^ polys[:, i : i + 1]
     return acc
 
 

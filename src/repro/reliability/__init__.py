@@ -10,6 +10,11 @@ from .analytic import (
     XedModel,
     build_model,
 )
+from .batch import (
+    run_burst_lengths_batched,
+    run_iid_batched,
+    run_single_fault_batched,
+)
 from .conditional import WordConditionals, measure_bit_code, measure_symbol_code
 from .exact import ExactRunConfig, run_burst_lengths, run_iid, run_single_fault
 from .fastmc import FastMcResult, run_fast, run_fast_duo, run_fast_pair
@@ -26,6 +31,9 @@ __all__ = [
     "run_iid",
     "run_single_fault",
     "run_burst_lengths",
+    "run_iid_batched",
+    "run_single_fault_batched",
+    "run_burst_lengths_batched",
     "ReliabilityModel",
     "build_model",
     "NoEccModel",

@@ -1,0 +1,232 @@
+"""Batched Monte-Carlo reliability engines.
+
+Array-at-a-time counterparts of the sequential engines in
+:mod:`repro.reliability.exact`.  The restructuring has three parts:
+
+1. **Coordinate pre-sampling.**  Every per-trial random draw is made up
+   front with the *same generator and call order* as the sequential engine,
+   so the sampled trial set is bit-identical.  (Vectorised ``rng.integers``
+   with ``size=`` draws a different stream than repeated scalar calls, so
+   the pre-sampling loop deliberately stays scalar - it is a negligible
+   fraction of the run.)
+2. **Fault-universe grouping.**  Trials that share a universe (an epoch of
+   ``resample_faults_every`` trials in :func:`run_iid_batched`) build their
+   overlays and devices once, and all reads of a chunk go through the
+   scheme's batched decode path (:meth:`~repro.schemes.base.EccScheme.read_lines`),
+   which screens clean rows in one pass and pushes the dirty minority
+   through ``decode_batch``.
+3. **Chunked dispatch.**  Chunks are self-contained (scheme, rates, seeds,
+   pre-sampled coordinates), so they can run inline or on a
+   ``ProcessPoolExecutor``.  Tallies are pure counts and merge
+   commutatively; each chunk's inputs are deterministic, so the merged
+   tally is identical for every ``workers`` setting - ``workers=N`` equals
+   ``workers=1`` equals the sequential engine, bit for bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..faults.rates import FaultRates
+from ..faults.types import FaultInstance, FaultType, TransferBurst
+from ..schemes.base import EccScheme
+from .exact import ExactRunConfig, _make_chips, _plant_fault, _zero_line
+from .outcomes import Tally, classify
+
+#: default number of trials grouped into one dispatch unit; bounds both the
+#: live device/overlay count and the size of each decode batch.
+DEFAULT_CHUNK_TRIALS = 256
+
+
+def _tally_reads(scheme: EccScheme, reads: list) -> Tally:
+    """Classify a batch of line reads against the all-zero line."""
+    expected = _zero_line(scheme)
+    tally = Tally()
+    for result in scheme.read_lines(reads):
+        tally.add(classify(result, expected))
+    return tally
+
+
+def _merge_dispatch(fn, arg_tuples: list[tuple], workers: int) -> Tally:
+    """Run chunk workers inline or across processes; merge their tallies."""
+    total = Tally()
+    if workers <= 1 or len(arg_tuples) <= 1:
+        for args in arg_tuples:
+            total = total.merge(fn(*args))
+        return total
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for part in pool.map(fn, *zip(*arg_tuples)):
+            total = total.merge(part)
+    return total
+
+
+# -- i.i.d. weak-cell process --------------------------------------------------
+
+
+def _sample_iid_coords(scheme: EccScheme, config: ExactRunConfig) -> list[tuple[int, int, int]]:
+    """(bank, row, col) per trial, same draw order as :func:`exact.run_iid`."""
+    rng = np.random.default_rng([config.seed, 0xE4AC7])
+    device = scheme.rank.device
+    coords = []
+    for _ in range(config.trials):
+        bank = int(rng.integers(device.banks))
+        row = int(rng.integers(device.rows_per_bank))
+        col = int(rng.integers(device.columns_per_row))
+        coords.append((bank, row, col))
+    return coords
+
+
+def _iid_chunk(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
+    """One dispatch unit: a run of (chip_seed, coords) fault-universe epochs."""
+    reads = []
+    for chip_seed, coords in epochs:
+        chips = _make_chips(scheme, rates, seed=chip_seed)
+        reads.extend((chips, bank, row, col, None) for bank, row, col in coords)
+    return _tally_reads(scheme, reads)
+
+
+def run_iid_batched(
+    scheme: EccScheme,
+    rates: FaultRates,
+    config: ExactRunConfig,
+    workers: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+) -> Tally:
+    """Batched :func:`repro.reliability.exact.run_iid`; identical tally.
+
+    Trials are grouped into fault-universe epochs (one per
+    ``resample_faults_every`` run of trials, chip seed ``config.seed +
+    first_trial`` exactly as the sequential engine rebuilds them), epochs
+    into chunks of roughly ``chunk_trials`` trials, and chunks across
+    ``workers`` processes.
+    """
+    coords = _sample_iid_coords(scheme, config)
+    every = max(1, config.resample_faults_every)
+    epochs = [
+        (config.seed + start, coords[start : start + every])
+        for start in range(0, config.trials, every)
+    ]
+    per_chunk = max(1, chunk_trials // every)
+    chunks = [epochs[i : i + per_chunk] for i in range(0, len(epochs), per_chunk)]
+    return _merge_dispatch(
+        _iid_chunk, [(scheme, rates, chunk) for chunk in chunks], workers
+    )
+
+
+# -- one planted structured fault ----------------------------------------------
+
+
+def _sample_single_fault_trials(
+    scheme: EccScheme, kind: FaultType, rates: FaultRates, config: ExactRunConfig
+) -> list[tuple[int, int, FaultInstance, TransferBurst | None]]:
+    """(trial, col, fault, burst) per trial, same draw order as the original.
+
+    The sequential engine draws the burst parameters *after* building the
+    chips, but chip construction never touches this generator, so drawing
+    them here keeps the stream identical.
+    """
+    rng = np.random.default_rng([config.seed, 0xFA3])
+    device = scheme.rank.device
+    total_bits = device.data_bits_per_pin_per_row + device.spare_bits_per_pin_per_row
+    specs = []
+    for trial in range(config.trials):
+        col = int(rng.integers(device.columns_per_row))
+        fault = _plant_fault(kind, rates, device, 64, col, total_bits, rng)
+        burst = None
+        if kind is FaultType.TRANSFER_BURST:
+            length = min(rates.transfer_burst_length, device.burst_length)
+            burst = TransferBurst(
+                pin=int(rng.integers(device.pins)),
+                beat_start=int(rng.integers(device.burst_length - length + 1)),
+                length=length,
+            )
+        specs.append((trial, col, fault, burst))
+    return specs
+
+
+def _single_fault_chunk(
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+) -> Tally:
+    reads = []
+    for trial, col, fault, burst in specs:
+        faults_per_chip: list[list[FaultInstance]] = [[] for _ in range(scheme.rank.chips)]
+        faults_per_chip[0] = [fault]
+        chips = _make_chips(
+            scheme, clean, seed=seed * 7919 + trial, faults_per_chip=faults_per_chip
+        )
+        reads.append((chips, 0, 64, col, {0: burst} if burst is not None else None))
+    return _tally_reads(scheme, reads)
+
+
+def run_single_fault_batched(
+    scheme: EccScheme,
+    kind: FaultType,
+    rates: FaultRates,
+    config: ExactRunConfig,
+    workers: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+) -> Tally:
+    """Batched :func:`repro.reliability.exact.run_single_fault`; identical tally."""
+    specs = _sample_single_fault_trials(scheme, kind, rates, config)
+    clean = rates.with_ber(0.0)
+    chunks = [specs[i : i + chunk_trials] for i in range(0, len(specs), chunk_trials)]
+    return _merge_dispatch(
+        _single_fault_chunk, [(scheme, clean, config.seed, chunk) for chunk in chunks], workers
+    )
+
+
+# -- write-path transfer bursts ------------------------------------------------
+
+
+def _burst_length_tally(
+    scheme: EccScheme, length: int, config: ExactRunConfig
+) -> tuple[int, Tally]:
+    device = scheme.rank.device
+    rng = np.random.default_rng([config.seed, 0xB0057, length])
+    length_eff = min(length, device.burst_length)
+    clean = FaultRates(
+        single_cell_ber=0.0, row_faults_per_device=0.0, column_faults_per_device=0.0,
+        pin_faults_per_device=0.0, mat_faults_per_device=0.0,
+        transfer_burst_per_access=0.0,
+    )
+    chips = _make_chips(scheme, clean, seed=config.seed)
+    reads = []
+    for _ in range(config.trials):
+        row = int(rng.integers(device.rows_per_bank))
+        col = int(rng.integers(device.columns_per_row))
+        burst = TransferBurst(
+            pin=int(rng.integers(device.pins)),
+            beat_start=int(rng.integers(device.burst_length - length_eff + 1)),
+            length=length_eff,
+        )
+        reads.append((chips, 0, row, col, {0: burst}))
+    return length, _tally_reads(scheme, reads)
+
+
+def run_burst_lengths_batched(
+    scheme: EccScheme,
+    lengths: list[int],
+    config: ExactRunConfig,
+    workers: int = 1,
+) -> dict[int, Tally]:
+    """Batched :func:`repro.reliability.exact.run_burst_lengths`; identical tallies.
+
+    Each burst length is an independent run with its own generator stream,
+    so lengths are the parallelism unit.
+    """
+    if workers <= 1 or len(lengths) <= 1:
+        return {
+            length: _burst_length_tally(scheme, length, config)[1] for length in lengths
+        }
+    out: dict[int, Tally] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for length, tally in pool.map(
+            _burst_length_tally,
+            [scheme] * len(lengths),
+            lengths,
+            [config] * len(lengths),
+        ):
+            out[length] = tally
+    return out

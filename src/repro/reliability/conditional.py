@@ -70,11 +70,13 @@ def measure_bit_code(
             continue
         flags = 0
         bads = 0
-        for _ in range(samples):
-            word = np.zeros(code.n, dtype=np.uint8)
+        # Draw every trial word first (same rng call order as one-at-a-time
+        # generation), then push the whole batch through the decoder.
+        words = np.zeros((samples, code.n), dtype=np.uint8)
+        for s in range(samples):
             positions = rng.choice(code.n, j, replace=False)
-            word[positions] = 1
-            result = code.decode(word)
+            words[s, positions] = 1
+        for result in code.decode_batch(words):
             flagged = result.status is DecodeStatus.DETECTED and not silent_on_detect
             if flagged:
                 flags += 1
@@ -118,11 +120,13 @@ def measure_symbol_code(
         flags = 0
         bads = 0
         bad_windows = 0.0
-        for _ in range(samples):
-            word = np.zeros(code.n, dtype=np.int64)
+        # Draw every trial word first (same rng call order as one-at-a-time
+        # generation), then push the whole batch through the decoder.
+        words = np.zeros((samples, code.n), dtype=np.int64)
+        for s in range(samples):
             positions = rng.choice(code.n, j, replace=False)
-            word[positions] = 1 << rng.integers(0, symbol_bits, size=j)
-            result = code.decode(word)
+            words[s, positions] = 1 << rng.integers(0, symbol_bits, size=j)
+        for result in code.decode_batch(words):
             if result.status is DecodeStatus.DETECTED:
                 flags += 1
                 continue

@@ -11,7 +11,9 @@ Per fault class the composition is::
                   x P(scheme fails | fault under the access) x reads/year
 
 with the last conditional taken from the exact decoder-in-the-loop engine
-(:func:`repro.reliability.exact.run_single_fault`) and the weak-cell term
+(:func:`repro.reliability.batch.run_single_fault_batched`, tally-identical
+to the sequential :func:`repro.reliability.exact.run_single_fault`) and the
+weak-cell term
 from the validated analytic models.  Footprint hit probabilities follow
 from the geometry in :mod:`repro.faults.types`.
 """
@@ -25,7 +27,8 @@ from ..faults.rates import FaultRates
 from ..faults.types import FaultType
 from ..schemes.base import EccScheme
 from .analytic import build_model
-from .exact import ExactRunConfig, run_single_fault
+from .batch import run_single_fault_batched
+from .exact import ExactRunConfig
 from .fit import AccessProfile
 from .outcomes import Tally
 
@@ -133,6 +136,7 @@ def evaluate_system(
     trials_per_mode: int = 24,
     samples: int = 300,
     seed: int = 0,
+    workers: int = 1,
 ) -> SystemReliability:
     """Expected SDC/DUE events per device-year under the composite model."""
     profile = profile or AccessProfile()
@@ -161,7 +165,7 @@ def evaluate_system(
             sdc[kind.value] = due[kind.value] = 0.0
             p_sdc[kind.value] = p_due[kind.value] = 0.0
             continue
-        tally: Tally = run_single_fault(scheme, kind, rates, config)
+        tally: Tally = run_single_fault_batched(scheme, kind, rates, config, workers=workers)
         hit = _footprint_hit_probability(kind, scheme, rates)
         reads_hitting = hit * reads_per_year
         sev_sdc = tally.sdc / tally.total

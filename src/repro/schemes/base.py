@@ -113,6 +113,25 @@ class EccScheme(abc.ABC):
         index (stored corrupted; see DESIGN.md on burst errors).
         """
 
+    def read_lines(
+        self,
+        reads: list[tuple[list[DramDevice], int, int, int, dict[int, TransferBurst] | None]],
+    ) -> list[LineReadResult]:
+        """Decode many line reads; element-wise equivalent to :meth:`read_line`.
+
+        ``reads`` is a sequence of ``(chips, bank, row, col, bursts)``
+        tuples - each element may name a *different* chip set, so batches
+        can span fault universes.  The base implementation is a plain loop;
+        schemes with symbol decoders override it to push every codeword of
+        every read through one ``decode_batch`` call.  Overrides must return
+        results identical to the scalar path (the batched Monte-Carlo
+        engines rely on this for bit-identical tallies).
+        """
+        return [
+            self.read_line(chips, bank, row, col, bursts)
+            for chips, bank, row, col, bursts in reads
+        ]
+
     @property
     def line_shape(self) -> tuple[int, int, int]:
         """Shape of one line: ``(data_chips, pins, burst_length)``."""

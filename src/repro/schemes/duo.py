@@ -168,3 +168,64 @@ class Duo(EccScheme):
             believed_good=result.status is not DecodeStatus.DETECTED,
             corrections=result.corrections,
         )
+
+    def read_lines(self, reads):
+        """Batched reads: all dirty lines through one ``decode_batch`` call.
+
+        Reads whose every chip row (ECC chip included) is fault-free and
+        burst-free are all-zero codewords of this linear code and are
+        classified OK without touching the decoder.
+        """
+        bl = self.rank.device.burst_length
+        results: list[LineReadResult | None] = [None] * len(reads)
+        pending: list[int] = []
+        received_rows: list[np.ndarray] = []
+        for i, (chips, bank, row, col, bursts) in enumerate(reads):
+            bursts = bursts or {}
+            if not bursts and all(
+                chips[c].row_is_clean(bank, row) for c in range(self.rank.chips)
+            ):
+                results[i] = LineReadResult(
+                    data=np.zeros(self._line_shape(), dtype=np.uint8),
+                    believed_good=True,
+                )
+                continue
+            data_syms = []
+            chip_spares = []
+            for chip_idx in range(self.rank.data_chips):
+                row_bits = faulty_row_with_burst(
+                    chips[chip_idx], bank, row, col, bursts.get(chip_idx)
+                )
+                data_syms.append(self._chip_symbols(access_window(row_bits, col, bl)))
+                chip_spares.append(self._read_spare_symbol(row_bits, col))
+            ecc_idx = self.rank.data_chips
+            ecc_bits = faulty_row_with_burst(
+                chips[ecc_idx], bank, row, col, bursts.get(ecc_idx)
+            )
+            ecc_main = self._chip_symbols(access_window(ecc_bits, col, bl))
+            received_rows.append(
+                np.concatenate(
+                    [np.concatenate(data_syms), chip_spares, ecc_main[: self.ecc_chip_symbols]]
+                )
+            )
+            pending.append(i)
+        if pending:
+            decoded_batch = self.code.decode_batch(np.stack(received_rows))
+            for i, received, result in zip(pending, received_rows, decoded_batch):
+                decoded = (
+                    result.data if result.believed_good else received[: self.data_symbols]
+                )
+                out = np.stack(
+                    [
+                        self._symbols_to_window(
+                            decoded[c * self.symbols_per_chip : (c + 1) * self.symbols_per_chip]
+                        )
+                        for c in range(self.rank.data_chips)
+                    ]
+                )
+                results[i] = LineReadResult(
+                    data=out,
+                    believed_good=result.status is not DecodeStatus.DETECTED,
+                    corrections=result.corrections,
+                )
+        return results

@@ -181,3 +181,47 @@ class PairScheme(EccScheme):
         return LineReadResult(
             data=out, believed_good=believed_good, corrections=corrections
         )
+
+    def read_lines(self, reads):
+        """Batched reads: one ``decode_batch`` over every codeword touched.
+
+        Chip rows with no faults and no burst are skipped outright - the
+        all-zero row is a valid codeword of this linear code, so each of its
+        segments decodes OK with zero corrections, exactly what the scalar
+        path would report.  Only the dirty minority reaches the decoder.
+        """
+        bl = self.rank.device.burst_length
+        count = len(reads)
+        outs = [np.zeros(self._line_shape(), dtype=np.uint8) for _ in range(count)]
+        believed = [True] * count
+        corrections = [0] * count
+        dirty: list[tuple[int, int, int, np.ndarray, tuple[int, ...]]] = []
+        words: list[np.ndarray] = []
+        for i, (chips, bank, row, col, bursts) in enumerate(reads):
+            bursts = bursts or {}
+            cws = self.layout.codewords_of_access(col)
+            for chip_idx in range(self.rank.data_chips):
+                burst = bursts.get(chip_idx)
+                if burst is None and chips[chip_idx].row_is_clean(bank, row):
+                    continue
+                row_bits = faulty_row_with_burst(chips[chip_idx], bank, row, col, burst)
+                dirty.append((i, chip_idx, col, row_bits, cws))
+                words.append(self.layout.gather_many(row_bits, cws))
+        if words:
+            results = self.code.decode_batch(np.concatenate(words, axis=0))
+            pos = 0
+            for i, chip_idx, col, row_bits, cws in dirty:
+                for cw in cws:
+                    result = results[pos]
+                    pos += 1
+                    corrections[i] += result.corrections
+                    if result.status is DecodeStatus.DETECTED:
+                        believed[i] = False
+                    elif result.corrections:
+                        # row_bits is already a private copy, safe to fix up
+                        self.layout.scatter(row_bits, cw, result.codeword)
+                outs[i][chip_idx] = access_window(row_bits, col, bl)
+        return [
+            LineReadResult(data=outs[i], believed_good=believed[i], corrections=corrections[i])
+            for i in range(count)
+        ]

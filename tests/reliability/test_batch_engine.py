@@ -1,0 +1,138 @@
+"""Batched Monte-Carlo engines: bit-identical to sequential, worker-invariant."""
+
+import numpy as np
+import pytest
+
+from repro.faults import DEFAULT_RATES, FaultType
+from repro.reliability import (
+    ExactRunConfig,
+    run_burst_lengths,
+    run_burst_lengths_batched,
+    run_iid,
+    run_iid_batched,
+    run_single_fault,
+    run_single_fault_batched,
+)
+from repro.schemes import Duo, PairScheme
+from repro.schemes.iecc_sec import ConventionalIecc
+
+
+def counts(tally):
+    return (tally.ok, tally.ce, tally.due, tally.sdc)
+
+
+@pytest.fixture(scope="module")
+def schemes():
+    return [PairScheme(), Duo(), ConventionalIecc()]
+
+
+class TestIidBatched:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_bit_identical_to_sequential(self, schemes, seed):
+        rates = DEFAULT_RATES.with_ber(1e-4)
+        config = ExactRunConfig(trials=40, seed=seed)
+        for scheme in schemes:
+            a = run_iid(scheme, rates, config)
+            b = run_iid_batched(scheme, rates, config)
+            assert counts(a) == counts(b), scheme.name
+
+    def test_resample_grouping_matches(self, schemes):
+        # Epoch grouping must honour the sequential rebuild points exactly.
+        rates = DEFAULT_RATES.with_ber(5e-5)
+        config = ExactRunConfig(trials=30, seed=9, resample_faults_every=7)
+        scheme = schemes[0]
+        assert counts(run_iid(scheme, rates, config)) == counts(
+            run_iid_batched(scheme, rates, config)
+        )
+
+    def test_chunking_invariant(self, schemes):
+        rates = DEFAULT_RATES.with_ber(1e-4)
+        config = ExactRunConfig(trials=37, seed=1)
+        scheme = schemes[0]
+        base = counts(run_iid_batched(scheme, rates, config))
+        for chunk in (1, 5, 64):
+            assert counts(run_iid_batched(scheme, rates, config, chunk_trials=chunk)) == base
+
+    def test_workers_invariant(self, schemes):
+        # The dispatch across processes must not change the merged tally.
+        rates = DEFAULT_RATES.with_ber(1e-4)
+        config = ExactRunConfig(trials=24, seed=5)
+        scheme = schemes[0]
+        one = run_iid_batched(scheme, rates, config, workers=1, chunk_trials=8)
+        many = run_iid_batched(scheme, rates, config, workers=2, chunk_trials=8)
+        assert counts(one) == counts(many)
+
+
+class TestSingleFaultBatched:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            FaultType.ROW,
+            FaultType.COLUMN,
+            FaultType.PIN_LINE,
+            FaultType.MAT,
+            FaultType.TRANSFER_BURST,
+        ],
+    )
+    def test_bit_identical_to_sequential(self, schemes, kind):
+        config = ExactRunConfig(trials=12, seed=2)
+        for scheme in schemes:
+            a = run_single_fault(scheme, kind, DEFAULT_RATES, config)
+            b = run_single_fault_batched(scheme, kind, DEFAULT_RATES, config)
+            assert counts(a) == counts(b), (scheme.name, kind)
+
+    def test_workers_invariant(self, schemes):
+        config = ExactRunConfig(trials=16, seed=4)
+        scheme = schemes[0]
+        one = run_single_fault_batched(
+            scheme, FaultType.COLUMN, DEFAULT_RATES, config, workers=1, chunk_trials=4
+        )
+        many = run_single_fault_batched(
+            scheme, FaultType.COLUMN, DEFAULT_RATES, config, workers=2, chunk_trials=4
+        )
+        assert counts(one) == counts(many)
+
+
+class TestBurstLengthsBatched:
+    def test_bit_identical_to_sequential(self, schemes):
+        lengths = [1, 4, 16]
+        config = ExactRunConfig(trials=8, seed=0)
+        for scheme in schemes:
+            a = run_burst_lengths(scheme, lengths, config)
+            b = run_burst_lengths_batched(scheme, lengths, config)
+            assert list(a) == list(b), scheme.name
+            for length in lengths:
+                assert counts(a[length]) == counts(b[length]), (scheme.name, length)
+
+    def test_workers_invariant(self, schemes):
+        lengths = [2, 8]
+        config = ExactRunConfig(trials=6, seed=1)
+        scheme = schemes[1]
+        one = run_burst_lengths_batched(scheme, lengths, config, workers=1)
+        many = run_burst_lengths_batched(scheme, lengths, config, workers=2)
+        assert list(one) == list(many)
+        for length in lengths:
+            assert counts(one[length]) == counts(many[length])
+
+
+class TestReadLinesContract:
+    def test_read_lines_equals_read_line_loop(self, schemes):
+        # The schemes' batched read path must agree with the scalar path on
+        # every read, not just in aggregate.
+        from repro.reliability.batch import _sample_iid_coords
+        from repro.reliability.exact import _make_chips
+
+        rates = DEFAULT_RATES.with_ber(2e-4)
+        config = ExactRunConfig(trials=20, seed=8)
+        for scheme in schemes:
+            coords = _sample_iid_coords(scheme, config)
+            reads = []
+            for trial, (bank, row, col) in enumerate(coords):
+                chips = _make_chips(scheme, rates, seed=config.seed + trial)
+                reads.append((chips, bank, row, col, None))
+            batched = scheme.read_lines(reads)
+            for (chips, bank, row, col, _), b in zip(reads, batched):
+                a = scheme.read_line(chips, bank, row, col)
+                assert a.believed_good == b.believed_good, scheme.name
+                assert a.corrections == b.corrections, scheme.name
+                assert np.array_equal(a.data, b.data), scheme.name
