@@ -25,7 +25,7 @@ from ..perf.trace import generate_trace
 from ..perf.workloads import WORKLOADS
 from ..reliability.analytic import build_model
 from ..reliability.exact import ExactRunConfig, run_burst_lengths
-from ..schemes import default_schemes
+from ..schemes import EccScheme, default_schemes
 from .sweep import geomean, log_space
 
 
@@ -57,12 +57,12 @@ def _md_table(rows: list[dict]) -> str:
     return "\n".join(out) + "\n"
 
 
-def section_configurations(schemes) -> str:
+def section_configurations(schemes: list[EccScheme]) -> str:
     rows = [s.description() for s in schemes]
     return "## Scheme configurations (T1)\n\n" + _md_table(rows)
 
 
-def section_reliability(schemes, config: ReportConfig) -> str:
+def section_reliability(schemes: list[EccScheme], config: ReportConfig) -> str:
     bers = log_space(1e-7, 1e-3, 7)
     models = {s.name: build_model(s, samples=config.samples) for s in schemes}
     rows = []
@@ -83,7 +83,7 @@ def section_reliability(schemes, config: ReportConfig) -> str:
     return body
 
 
-def section_performance(schemes, config: ReportConfig) -> str:
+def section_performance(schemes: list[EccScheme], config: ReportConfig) -> str:
     mapper = AddressMapper(RANK_X8_5CHIP)
     results: dict[str, dict[str, float]] = {}
     for wname, wcfg in WORKLOADS.items():
@@ -113,7 +113,7 @@ def section_performance(schemes, config: ReportConfig) -> str:
     )
 
 
-def section_bursts(schemes, config: ReportConfig) -> str:
+def section_bursts(schemes: list[EccScheme], config: ReportConfig) -> str:
     lengths = [2, 4, 8, 12, 16]
     rows = []
     for s in schemes:
@@ -130,7 +130,7 @@ def section_bursts(schemes, config: ReportConfig) -> str:
     return "## Burst survival (F4)\n\n" + _md_table(rows)
 
 
-def section_overheads(schemes) -> str:
+def section_overheads(schemes: list[EccScheme]) -> str:
     rows = [overhead_row(s) for s in schemes]
     energy = [energy_row(s) for s in schemes]
     return (
@@ -141,7 +141,7 @@ def section_overheads(schemes) -> str:
     )
 
 
-def section_headroom(schemes, config: ReportConfig) -> str:
+def section_headroom(schemes: list[EccScheme], config: ReportConfig) -> str:
     models = {
         s.name: build_model(s, samples=config.samples)
         for s in schemes

@@ -1,0 +1,44 @@
+"""Custom static-invariant checkers for the PAIR reproduction.
+
+Run as ``python -m repro.checkers src tests benchmarks``.  See
+:mod:`repro.checkers.core` for the rule/violation model and DESIGN.md
+section 6c for the catalogue of rules with their paper-level rationale.
+"""
+
+from __future__ import annotations
+
+from .conformance import ConformanceChecker
+from .core import (
+    ALL_CODES,
+    Checker,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    check_paths,
+    check_source,
+    iter_python_files,
+    parse_noqa,
+    report,
+)
+from .determinism import DeterminismChecker
+from .gfsafety import GFSafetyChecker
+from .params import CodeParamsChecker
+
+__all__ = [
+    "ALL_CODES",
+    "Checker",
+    "CodeParamsChecker",
+    "ConformanceChecker",
+    "DeterminismChecker",
+    "FileContext",
+    "GFSafetyChecker",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "parse_noqa",
+    "report",
+]

@@ -1,0 +1,57 @@
+"""CLI entry point: ``python -m repro.checkers [paths...]``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage
+errors - the same convention the CI lint job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core import all_rules, check_paths, report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checkers",
+        description="Static invariant checks for the PAIR reproduction (REPRO1xx rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="PREFIX",
+        help="only report codes starting with PREFIX (repeatable, e.g. REPRO10)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="PREFIX",
+        help="drop codes starting with PREFIX (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"    {rule.summary}")
+            print(f"    fix: {rule.hint}")
+        return 0
+
+    violations = check_paths(args.paths, select=args.select, ignore=args.ignore)
+    report(violations)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,277 @@
+"""Checker infrastructure: rules, violations, noqa handling, file walking.
+
+The checkers are a standalone static-analysis pass over the repository's own
+source (``python -m repro.checkers src tests benchmarks``).  They encode the
+invariants the reproduction's numbers rest on - determinism of the
+Monte-Carlo engines, GF(2^m) domain discipline, Reed-Solomon parameter
+bounds and the scalar/batched decode contract - as machine-checked rules so
+refactors cannot silently break them (see DESIGN.md section 6c).
+
+Every rule has
+
+* an error code ``REPRO1xx`` (grouped by family: 10x determinism, 11x
+  GF-domain safety, 12x code-parameter validity, 13x API conformance),
+* a one-line fix hint printed with each violation, and
+* suppression support: ``# repro: noqa-REPRO101`` on the offending line
+  waives that rule there (comma-separate several codes; a bare
+  ``# repro: noqa`` waives all rules on the line).  Suppressions are
+  deliberate, greppable artefacts - reviewers can audit every waived
+  violation and its justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import TextIO
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa-REPRO101,REPRO102``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<codes>REPRO\d{3}(?:\s*,\s*REPRO\d{3})*))?",
+)
+
+#: Sentinel entry in the per-line noqa map meaning "suppress every rule".
+ALL_CODES = "*"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One machine-checked invariant."""
+
+    code: str  # "REPRO101"
+    name: str  # short kebab-case slug
+    summary: str  # what the rule forbids / requires
+    hint: str  # one-line fix hint shown with each violation
+    rationale: str = ""  # paper-level justification (DESIGN.md 6c)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: Rule
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule.code} "
+            f"{self.message}  [fix: {self.rule.hint}]"
+        )
+
+    @property
+    def code(self) -> str:
+        return self.rule.code
+
+
+@dataclass
+class FileContext:
+    """A parsed source file plus everything checkers need to scope rules."""
+
+    path: str  # as given / repo-relative, forward slashes
+    text: str
+    tree: ast.Module
+    #: line number -> set of suppressed codes (or {ALL_CODES})
+    noqa: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def domain(self) -> str:
+        """Coarse location tag used to scope rules.
+
+        ``"tests"`` / ``"benchmarks"`` for the respective trees, the package
+        name (``"reliability"``, ``"galois"``, ...) for files under
+        ``repro/``, and ``""`` when unknown.
+        """
+        parts = PurePosixPath(self.path).parts
+        if "tests" in parts:
+            return "tests"
+        if "benchmarks" in parts:
+            return "benchmarks"
+        if "repro" in parts:
+            idx = parts.index("repro")
+            if idx + 1 < len(parts) - 1:
+                return parts[idx + 1]
+            return "repro"
+        return ""
+
+    @property
+    def subpackage(self) -> str:
+        """For test files, the subpackage under test (``tests/galois`` -> ``galois``)."""
+        parts = PurePosixPath(self.path).parts
+        for root in ("tests", "benchmarks"):
+            if root in parts:
+                idx = parts.index(root)
+                if idx + 1 < len(parts) - 1:
+                    return parts[idx + 1]
+        return ""
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        codes = self.noqa.get(line)
+        if not codes:
+            return False
+        return ALL_CODES in codes or code in codes
+
+
+class Checker:
+    """Base class: one rule family, implemented as an AST pass."""
+
+    rules: tuple[Rule, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this family runs on ``ctx`` at all (default: everywhere)."""
+        return True
+
+
+def parse_noqa(text: str) -> dict[int, set[str]]:
+    """Per-line suppression map from ``# repro: noqa`` comments.
+
+    Implemented over raw source lines rather than the tokenizer so that it
+    also works on files with minor tokenization quirks; the pattern is
+    strict enough that prose mentions (no leading ``#``) never match.
+    """
+    noqa: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            noqa.setdefault(lineno, set()).add(ALL_CODES)
+        else:
+            for code in codes.split(","):
+                noqa.setdefault(lineno, set()).add(code.strip())
+    return noqa
+
+
+def make_context(text: str, path: str) -> FileContext:
+    """Parse ``text`` into a checkable context (raises SyntaxError)."""
+    tree = ast.parse(text, filename=path)
+    return FileContext(
+        path=str(PurePosixPath(Path(path).as_posix())),
+        text=text,
+        tree=tree,
+        noqa=parse_noqa(text),
+    )
+
+
+def _default_checkers() -> list[Checker]:
+    # Imported here to avoid a cycle (rule modules import core).
+    from .conformance import ConformanceChecker
+    from .determinism import DeterminismChecker
+    from .gfsafety import GFSafetyChecker
+    from .params import CodeParamsChecker
+
+    return [
+        DeterminismChecker(),
+        GFSafetyChecker(),
+        CodeParamsChecker(),
+        ConformanceChecker(),
+    ]
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    rules: list[Rule] = []
+    for checker in _default_checkers():
+        rules.extend(checker.rules)
+    return sorted(rules, key=lambda r: r.code)
+
+
+def check_source(
+    text: str,
+    path: str = "<string>",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Run every rule family over one source string.
+
+    ``select`` / ``ignore`` filter by error-code prefix ("REPRO10" selects
+    the whole determinism family).  Violations on lines carrying a matching
+    ``# repro: noqa`` comment are dropped here, after the checkers ran, so
+    suppression behaves identically for every family.
+    """
+    ctx = make_context(text, path)
+    out: list[Violation] = []
+    for checker in _default_checkers():
+        if not checker.applies_to(ctx):
+            continue
+        for violation in checker.check(ctx):
+            code = violation.code
+            if select and not any(code.startswith(s) for s in select):
+                continue
+            if ignore and any(code.startswith(s) for s in ignore):
+                continue
+            if ctx.is_suppressed(code, violation.line):
+                continue
+            out.append(violation)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py":
+            yield p
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    on_error: str = "report",
+) -> list[Violation]:
+    """Check every python file under ``paths``; returns all violations.
+
+    Unparseable files are reported as REPRO100 violations (``on_error ==
+    "report"``) rather than aborting the run, so one syntax error does not
+    hide every other finding.
+    """
+    violations: list[Violation] = []
+    for file in iter_python_files(paths):
+        rel = file.as_posix()
+        try:
+            text = file.read_text(encoding="utf-8")
+            violations.extend(check_source(text, rel, select=select, ignore=ignore))
+        except SyntaxError as exc:
+            if on_error == "raise":
+                raise
+            violations.append(
+                Violation(
+                    rule=SYNTAX_RULE,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return violations
+
+
+SYNTAX_RULE = Rule(
+    code="REPRO100",
+    name="parse-failure",
+    summary="file must parse so the invariant rules can run",
+    hint="fix the syntax error; unparseable files are unchecked code",
+)
+
+
+def report(violations: Sequence[Violation], stream: TextIO | None = None) -> None:
+    """Print violations in ``path:line:col: CODE message`` form."""
+    stream = stream if stream is not None else sys.stdout
+    for v in violations:
+        print(v.format(), file=stream)
+    if violations:
+        print(f"\n{len(violations)} violation(s) found.", file=stream)

@@ -1,0 +1,240 @@
+"""Determinism rules (REPRO10x).
+
+PR 1's batched-engine contract is *bit-identical* tallies across the
+scalar, batched and process-parallel Monte-Carlo paths.  That only holds if
+every random draw flows from an explicit seed through an explicit
+``numpy.random.Generator`` - never from global RNG state or the wall
+clock.  These rules make the contract mechanical:
+
+* REPRO101 - ``np.random.default_rng()`` without a seed argument.
+* REPRO102 - global-state RNG: legacy ``np.random.*`` functions
+  (``np.random.seed`` / ``rand`` / ``randint`` / ...) and stdlib
+  ``random.*`` module-level functions.
+* REPRO103 - wall-clock values (``time.*`` / ``datetime.now`` / ...)
+  inside the deterministic core (``reliability/``, ``faults/``,
+  ``schemes/``), where any time-derived quantity would leak into tallies.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import Checker, FileContext, Rule, Violation
+
+UNSEEDED_RNG = Rule(
+    code="REPRO101",
+    name="unseeded-default-rng",
+    summary="np.random.default_rng() must be called with an explicit seed",
+    hint="pass an explicit seed (or spawn from a parent SeedSequence)",
+    rationale=(
+        "an unseeded Generator makes Monte-Carlo tallies unreproducible, "
+        "breaking the scalar/batched/parallel bit-identity contract"
+    ),
+)
+
+GLOBAL_RNG = Rule(
+    code="REPRO102",
+    name="global-rng-state",
+    summary="no global-state RNG (legacy np.random.* or stdlib random.*)",
+    hint="thread an explicit np.random.Generator parameter instead",
+    rationale=(
+        "global RNG state is shared across engines and processes; draws "
+        "interleave differently under batching, changing results silently"
+    ),
+)
+
+WALL_CLOCK = Rule(
+    code="REPRO103",
+    name="wall-clock-value",
+    summary="no time/datetime-derived values inside the deterministic core",
+    hint="take timestamps outside reliability/faults/schemes and pass them in",
+    rationale=(
+        "a wall-clock read inside the evaluated datapath makes two runs of "
+        "the same seed diverge; timing belongs to the perf layer"
+    ),
+)
+
+#: ``np.random`` attributes that are *constructors*, not global-state draws.
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` attributes that do not touch the module-level state.
+_RANDOM_MODULE_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+#: wall-clock call names per module root.
+_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+#: domains where REPRO103 applies (the deterministic core).
+_CLOCKLESS_DOMAINS = frozenset({"reliability", "faults", "schemes"})
+
+
+def _attr_chain(node: ast.expr) -> tuple[str, ...]:
+    """``np.random.default_rng`` -> ("np", "random", "default_rng")."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+class DeterminismChecker(Checker):
+    rules = (UNSEEDED_RNG, GLOBAL_RNG, WALL_CLOCK)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = _collect_imports(ctx.tree)
+        clockless = ctx.domain in _CLOCKLESS_DOMAINS
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain:
+                continue
+            yield from self._check_call(node, chain, imports, clockless, ctx)
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        chain: tuple[str, ...],
+        imports: _Imports,
+        clockless: bool,
+        ctx: FileContext,
+    ) -> Iterator[Violation]:
+        root, tail = chain[0], chain[-1]
+
+        # REPRO101: default_rng with no arguments (bare or via np.random).
+        is_default_rng = (
+            tail == "default_rng"
+            and (len(chain) == 1 and "default_rng" in imports.from_np_random)
+            or (len(chain) >= 2 and chain[-2:] == ("random", "default_rng"))
+        )
+        if is_default_rng and not node.args and not node.keywords:
+            yield self._violation(
+                UNSEEDED_RNG, node, ctx, "np.random.default_rng() called without a seed"
+            )
+            return
+
+        # REPRO102: legacy np.random global-state functions.
+        if (
+            len(chain) >= 3
+            and root in imports.numpy_aliases
+            and chain[1] == "random"
+            and tail not in _NP_RANDOM_OK
+        ):
+            yield self._violation(
+                GLOBAL_RNG, node, ctx, f"np.random.{tail}() draws from global RNG state"
+            )
+            return
+
+        # REPRO102: stdlib random module-level functions.
+        if (
+            len(chain) == 2
+            and root in imports.random_aliases
+            and tail not in _RANDOM_MODULE_OK
+        ):
+            yield self._violation(
+                GLOBAL_RNG, node, ctx, f"random.{tail}() draws from global RNG state"
+            )
+            return
+        if len(chain) == 1 and root in imports.from_random:
+            yield self._violation(
+                GLOBAL_RNG, node, ctx, f"{root}() draws from stdlib global RNG state"
+            )
+            return
+
+        # REPRO103: wall-clock reads in the deterministic core.
+        if clockless:
+            if len(chain) == 2 and root in imports.time_aliases and tail in _TIME_FUNCS:
+                yield self._violation(
+                    WALL_CLOCK, node, ctx, f"time.{tail}() inside the deterministic core"
+                )
+            elif len(chain) == 1 and root in imports.from_time:
+                yield self._violation(
+                    WALL_CLOCK, node, ctx, f"{root}() inside the deterministic core"
+                )
+            elif (
+                len(chain) >= 2
+                and tail in _DATETIME_FUNCS
+                and (
+                    chain[-2] in ("datetime", "date")
+                    and (root in imports.datetime_aliases or root in ("datetime", "date"))
+                    or chain[-2] in imports.from_datetime
+                )
+            ):
+                yield self._violation(
+                    WALL_CLOCK,
+                    node,
+                    ctx,
+                    f"{'.'.join(chain)}() inside the deterministic core",
+                )
+
+    @staticmethod
+    def _violation(
+        rule: Rule, node: ast.AST, ctx: FileContext, message: str
+    ) -> Violation:
+        return Violation(
+            rule=rule,
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+        )
+
+
+class _Imports:
+    """Which aliases in a module refer to numpy / random / time / datetime."""
+
+    def __init__(self) -> None:
+        self.numpy_aliases: set[str] = set()
+        self.random_aliases: set[str] = set()
+        self.time_aliases: set[str] = set()
+        self.datetime_aliases: set[str] = set()
+        self.from_np_random: set[str] = set()  # from numpy.random import default_rng
+        self.from_random: set[str] = set()  # from random import randint
+        self.from_time: set[str] = set()  # from time import time
+        self.from_datetime: set[str] = set()  # from datetime import datetime
+
+
+def _collect_imports(tree: ast.Module) -> _Imports:
+    imports = _Imports()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name
+                if alias.name in ("numpy", "numpy.random"):
+                    imports.numpy_aliases.add(name.split(".")[0])
+                elif alias.name == "random":
+                    imports.random_aliases.add(name)
+                elif alias.name == "time":
+                    imports.time_aliases.add(name)
+                elif alias.name == "datetime":
+                    imports.datetime_aliases.add(name)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                name = alias.asname or alias.name
+                if node.module == "numpy.random":
+                    imports.from_np_random.add(name)
+                elif node.module == "random" and alias.name not in _RANDOM_MODULE_OK:
+                    imports.from_random.add(name)
+                elif node.module == "time" and alias.name in _TIME_FUNCS:
+                    imports.from_time.add(name)
+                elif node.module == "datetime":
+                    imports.from_datetime.add(name)
+    return imports

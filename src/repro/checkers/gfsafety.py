@@ -1,0 +1,287 @@
+"""GF-domain safety rules (REPRO11x).
+
+GF(2^m) symbols are stored as plain numpy ints, so nothing at runtime stops
+``a * b`` from silently computing an *integer* product of two field
+elements - a bug class that corrupts syndromes without failing any shape
+check.  These rules enforce the domain boundary statically:
+
+* REPRO111 - raw arithmetic (``*``, ``/``, ``//``, ``**``, ``%``) on a
+  value that is GF-tainted: produced by a field operation
+  (``field.mul(...)``, ``poly.evaluate(...)``, ``batch_syndromes(...)``),
+  annotated ``GFArray`` / ``GFScalar``, or named with a ``gf_`` / ``_gf``
+  marker.  All symbol arithmetic must go through the :class:`GF2m` /
+  :mod:`repro.galois.batch` kernels (XOR is the field addition and is
+  allowed).
+* REPRO112 - direct ``GF2m(...)`` construction outside the galois kernel:
+  everything else must use ``get_field(m)`` so table construction is cached
+  and instances pickle by reference.
+
+The taint analysis is intraprocedural and deliberately conservative: values
+flow through assignment, subscripting, ``.copy()``-style methods and
+``np.where`` / ``np.asarray`` / ``np.concatenate`` wrappers.  The galois
+kernel package itself is exempt - it *implements* the field ops on log/exp
+table indices, which are ordinary integers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from .core import Checker, FileContext, Rule, Violation
+
+RAW_GF_ARITHMETIC = Rule(
+    code="REPRO111",
+    name="raw-gf-arithmetic",
+    summary="no raw *, /, //, **, % on GF(2^m) symbol values",
+    hint="use field.mul/div/pow (or repro.galois.batch kernels); XOR is the field add",
+    rationale=(
+        "integer arithmetic on field symbols produces out-of-domain values "
+        "that corrupt syndromes without any runtime error"
+    ),
+)
+
+DIRECT_FIELD_CONSTRUCTION = Rule(
+    code="REPRO112",
+    name="direct-gf2m-construction",
+    summary="construct fields via get_field(m), not GF2m(m) directly",
+    hint="call repro.galois.get_field(m); it caches tables and pickles by reference",
+    rationale=(
+        "ad-hoc GF2m instances rebuild log/exp tables, defeat the process-"
+        "local cache and ship megabytes across process boundaries"
+    ),
+)
+
+#: method names on a field-like receiver whose result is a GF value.
+_FIELD_PRODUCERS = frozenset({"mul", "div", "inv", "pow", "add", "sub", "alpha_pow"})
+
+#: ``poly.<fn>`` helpers returning GF values.
+_POLY_PRODUCERS = frozenset({"evaluate", "evaluate_many", "evaluate_batch"})
+
+#: free functions returning GF-valued arrays.
+_FREE_PRODUCERS = frozenset({"batch_syndromes"})
+
+#: annotations that mark a value as living in the field domain.
+_GF_ANNOTATIONS = re.compile(r"\bGF(Array|Scalar|Symbols)\b")
+
+#: identifier pattern marking a name as a field value by convention.
+_GF_NAME = re.compile(r"(^|_)gf(_|$)", re.IGNORECASE)
+
+#: unit/cost suffixes: ``gf_mult_pj`` is an energy *per* GF multiply (a
+#: float), not a field element - measurement-suffixed names are exempt.
+_UNIT_SUFFIX = re.compile(r"_(pj|nj|ns|us|ms|hz|rate|prob|frac|count|cycles|bits)$")
+
+
+def _name_is_gf(name: str) -> bool:
+    return bool(_GF_NAME.search(name)) and not _UNIT_SUFFIX.search(name)
+
+#: numpy wrappers through which taint flows (first tainted arg taints result).
+_TRANSPARENT_NP = frozenset({"where", "asarray", "ascontiguousarray", "concatenate", "stack"})
+
+#: methods on a tainted receiver whose result stays tainted.
+_TRANSPARENT_METHODS = frozenset({"copy", "reshape", "astype", "ravel", "flatten", "squeeze"})
+
+_FLAGGED_OPS: dict[type[ast.operator], str] = {
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Pow: "**",
+    ast.Mod: "%",
+}
+
+#: receivers that "look like a field" (self.field, field, gf, code.field, ...).
+def _is_field_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id
+        return name in ("field", "gf") or name.endswith("field") or name.endswith("_gf")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("field", "gf") or node.attr.endswith("field")
+    return False
+
+
+class GFSafetyChecker(Checker):
+    rules = (RAW_GF_ARITHMETIC, DIRECT_FIELD_CONSTRUCTION)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The galois kernel implements the field ops (its arithmetic is on
+        # table indices); its direct unit tests are reference
+        # implementations checked against the kernel and are exempt too.
+        if ctx.domain == "galois":
+            return False
+        if ctx.domain in ("tests", "benchmarks") and ctx.subpackage == "galois":
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for args, body in _function_scopes(ctx.tree):
+            yield from _check_scope(args, body, ctx)
+        yield from _check_direct_construction(ctx)
+
+
+def _check_direct_construction(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "GF2m":
+            yield Violation(
+                rule=DIRECT_FIELD_CONSTRUCTION,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message="GF2m(...) constructed directly (rebuilds tables, bypasses cache)",
+            )
+
+
+def _function_scopes(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.arguments | None, list[ast.stmt]]]:
+    """Module body plus every function body, each as one analysis scope."""
+    yield None, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.args, node.body
+
+
+class _Taint:
+    """Names currently known to hold GF-domain values in one scope."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def is_tainted_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names or _name_is_gf(node.id)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted_expr(node.value)
+        if isinstance(node, ast.Attribute):
+            # conservatively: only the conventionally-named attributes
+            return _name_is_gf(node.attr)
+        if isinstance(node, ast.Call):
+            return self.is_producer_call(node)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitXor):
+            # XOR is the field addition: result stays in the domain.
+            return self.is_tainted_expr(node.left) or self.is_tainted_expr(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted_expr(node.body) or self.is_tainted_expr(node.orelse)
+        return False
+
+    def is_producer_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _FIELD_PRODUCERS and _is_field_receiver(func.value):
+                return True
+            if (
+                func.attr in _POLY_PRODUCERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "poly"
+            ):
+                return True
+            if func.attr in _TRANSPARENT_METHODS and self.is_tainted_expr(func.value):
+                return True
+            if (
+                func.attr in _TRANSPARENT_NP
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                return any(self._arg_tainted(a) for a in node.args)
+        elif isinstance(func, ast.Name):
+            if func.id in _FREE_PRODUCERS:
+                return True
+        return False
+
+    def _arg_tainted(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return any(self.is_tainted_expr(e) for e in node.elts)
+        return self.is_tainted_expr(node)
+
+
+def _check_scope(
+    args: ast.arguments | None, body: list[ast.stmt], ctx: FileContext
+) -> Iterator[Violation]:
+    taint = _Taint()
+    if args is not None:
+        _seed_from_arguments(args, taint)
+    for stmt in body:
+        yield from _visit_stmt(stmt, taint, ctx)
+
+
+def _seed_from_arguments(args: ast.arguments, taint: _Taint) -> None:
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        if arg.annotation is not None:
+            text = ast.unparse(arg.annotation)
+            if _GF_ANNOTATIONS.search(text):
+                taint.names.add(arg.arg)
+
+
+def _visit_stmt(stmt: ast.stmt, taint: _Taint, ctx: FileContext) -> Iterator[Violation]:
+    # Nested function definitions are separate scopes (handled by the outer
+    # iteration); still seed their parameter annotations here.
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return  # separate scope, analysed by _function_scopes
+    if isinstance(stmt, ast.AnnAssign):
+        if stmt.annotation is not None and _GF_ANNOTATIONS.search(
+            ast.unparse(stmt.annotation)
+        ):
+            if isinstance(stmt.target, ast.Name):
+                taint.names.add(stmt.target.id)
+        if stmt.value is not None:
+            yield from _scan_expr(stmt.value, taint, ctx)
+            if isinstance(stmt.target, ast.Name) and taint.is_tainted_expr(stmt.value):
+                taint.names.add(stmt.target.id)
+        return
+    if isinstance(stmt, ast.Assign):
+        yield from _scan_expr(stmt.value, taint, ctx)
+        if taint.is_tainted_expr(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    taint.names.add(target.id)
+        return
+    if isinstance(stmt, ast.AugAssign):
+        op_type = type(stmt.op)
+        if op_type in _FLAGGED_OPS and (
+            taint.is_tainted_expr(stmt.target) or taint.is_tainted_expr(stmt.value)
+        ):
+            yield _arith_violation(stmt, _FLAGGED_OPS[op_type] + "=", ctx)
+        yield from _scan_expr(stmt.value, taint, ctx)
+        return
+    # Generic statement: scan contained expressions, recurse into nested
+    # blocks with the same taint set (conservative: taint acquired in a
+    # branch persists afterwards).
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield from _scan_expr(child, taint, ctx)
+        elif isinstance(child, ast.stmt):
+            yield from _visit_stmt(child, taint, ctx)
+        elif isinstance(child, ast.excepthandler):
+            for sub in child.body:
+                yield from _visit_stmt(sub, taint, ctx)
+        elif isinstance(child, ast.withitem):
+            yield from _scan_expr(child.context_expr, taint, ctx)
+
+
+def _scan_expr(node: ast.expr, taint: _Taint, ctx: FileContext) -> Iterator[Violation]:
+    """Flag raw arithmetic on tainted operands anywhere inside ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp):
+            op_type = type(sub.op)
+            if op_type in _FLAGGED_OPS and (
+                taint.is_tainted_expr(sub.left) or taint.is_tainted_expr(sub.right)
+            ):
+                yield _arith_violation(sub, _FLAGGED_OPS[op_type], ctx)
+
+
+def _arith_violation(node: ast.stmt | ast.expr, op: str, ctx: FileContext) -> Violation:
+    return Violation(
+        rule=RAW_GF_ARITHMETIC,
+        path=ctx.path,
+        line=node.lineno,
+        col=node.col_offset,
+        message=f"raw '{op}' on a GF(2^m) symbol value",
+    )

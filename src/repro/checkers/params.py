@@ -1,0 +1,396 @@
+"""Code-parameter validity rules (REPRO12x).
+
+The paper's expandability argument fixes a family of Reed-Solomon bounds:
+an RS code over GF(2^m) has length at most ``2^m - 1``, the singly
+*extended* code reaches exactly ``2^m``, redundancy is ``r = n - k``, and
+PAIR's pin-aligned layout only exists when the per-pin data region tiles
+into whole ``k * symbol_bits`` segments whose parity fits the spare region.
+These rules evaluate scheme/code constructor call sites *statically* and
+flag parameter sets that violate the bounds - the constructor would raise
+at runtime, but only on the code path that happens to execute.
+
+* REPRO121 - RS length bound: ``n <= 2^m - 1`` for ``ReedSolomonCode``,
+  ``n <= 2^m`` for ``SinglyExtendedRS`` (the one-extra-symbol case the
+  PAIR geometry uses), ``data_symbols + parity_symbols <= 2^8`` for
+  ``PairScheme``.
+* REPRO122 - dimension/redundancy consistency: ``0 < k < n`` everywhere;
+  Hamming codes additionally need ``2^(n-k) >= n + 1`` (SEC) or
+  ``2^(n-k-1) >= n`` (Hsiao SEC-DED).
+* REPRO123 - pin-alignment divisibility: against the known device presets,
+  ``data_bits_per_pin_per_row`` must tile into ``data_symbols *
+  symbol_bits`` segments, every segment's parity must fit the spare
+  region, and segments must cover whole column accesses.
+
+Call sites whose arguments are not statically evaluable (computed fields,
+loop variables) are skipped silently - the rules only judge what they can
+prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from .core import Checker, FileContext, Rule, Violation
+
+RS_LENGTH_BOUND = Rule(
+    code="REPRO121",
+    name="rs-length-bound",
+    summary="RS code length must satisfy n <= 2^m - 1 (n = 2^m only when singly extended)",
+    hint="shorten the code, use a larger field, or SinglyExtendedRS for the n = 2^m case",
+    rationale=(
+        "beyond 2^m - 1 (2^m extended) the evaluation points repeat and the "
+        "code loses its MDS distance - reliability numbers become fiction"
+    ),
+)
+
+DIMENSION_CONSISTENCY = Rule(
+    code="REPRO122",
+    name="code-dimension-consistency",
+    summary="code dimensions must satisfy 0 < k < n (and the Hamming bound for SEC codes)",
+    hint="check the (n, k) pair; redundancy r = n - k must be positive and sufficient",
+    rationale=(
+        "an inconsistent (n, k, r) triple mis-sizes syndromes and parity "
+        "regions; every overhead and reliability figure depends on r = n - k"
+    ),
+)
+
+PIN_ALIGNMENT = Rule(
+    code="REPRO123",
+    name="pin-alignment-divisibility",
+    summary="PAIR segments must tile the per-pin data region and fit the spare region",
+    hint=(
+        "pick data_symbols*symbol_bits dividing the pin data region (7680b on DDR5 "
+        "presets), parity fitting the spare 512b, and whole-burst segments"
+    ),
+    rationale=(
+        "a non-tiling layout either overlaps codewords or leaves unprotected "
+        "bits - the pin-alignment claim (one codeword per DQ line) breaks"
+    ),
+)
+
+
+@dataclass(frozen=True)
+class _Geometry:
+    pins: int
+    burst_length: int
+    data_bits_per_pin_per_row: int
+    spare_bits_per_pin_per_row: int
+
+
+#: geometry of the named device presets in repro.dram.config (kept in sync
+#: by tests/checkers/test_params.py::test_known_geometry_matches_presets).
+KNOWN_DEVICES: dict[str, _Geometry] = {
+    "DDR5_X4": _Geometry(4, 16, 7680, 512),
+    "DDR5_X8": _Geometry(8, 16, 7680, 512),
+    "DDR5_X16": _Geometry(16, 16, 7680, 512),
+}
+
+#: rank presets -> their device preset.
+KNOWN_RANKS: dict[str, str] = {
+    "RANK_X8_5CHIP": "DDR5_X8",
+    "RANK_X4_10CHIP": "DDR5_X4",
+    "RANK_X8_4CHIP": "DDR5_X8",
+}
+
+#: names bound to GF(2^m) fields with a known m.
+KNOWN_FIELDS: dict[str, int] = {"GF256": 8}
+
+
+class CodeParamsChecker(Checker):
+    rules = (RS_LENGTH_BOUND, DIMENSION_CONSISTENCY, PIN_ALIGNMENT)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        env = _module_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callee_name(node.func)
+            if name == "ReedSolomonCode":
+                yield from _check_rs(node, env, ctx, extended=False)
+            elif name == "SinglyExtendedRS":
+                yield from _check_rs(node, env, ctx, extended=True)
+            elif name in ("HammingSEC", "HsiaoSECDED"):
+                yield from _check_hamming(node, env, ctx, hsiao=name == "HsiaoSECDED")
+            elif name == "PairScheme":
+                yield from _check_pair(node, env, ctx)
+            elif name in ("PinAlignedLayout", "BeatAlignedLayout"):
+                yield from _check_layout(node, env, ctx, beat=name == "BeatAlignedLayout")
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _module_constants(tree: ast.Module) -> dict[str, int]:
+    """Module-level ``NAME = <int literal/arithmetic>`` bindings."""
+    env: dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                value = _fold(stmt.value, env)
+                if isinstance(value, int):
+                    env[target.id] = value
+    return env
+
+
+def _fold(node: ast.expr, env: dict[str, int]) -> int | None:
+    """Constant-fold an expression to an int, or None if not static."""
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, int) and not isinstance(
+            node.value, bool
+        ) else None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _fold(node.operand, env)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.BinOp):
+        left = _fold(node.left, env)
+        right = _fold(node.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv):
+                return left // right
+            if isinstance(node.op, ast.Mod):
+                return left % right
+            if isinstance(node.op, ast.Pow):
+                return left**right if abs(right) < 64 else None
+            if isinstance(node.op, ast.LShift):
+                return left << right if right < 64 else None
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+class _CallArgs:
+    """Positional/keyword arguments of one call, with static folding."""
+
+    def __init__(self, node: ast.Call, env: dict[str, int]):
+        self.node = node
+        self.env = env
+
+    def expr(self, index: int, keyword: str) -> ast.expr | None:
+        for kw in self.node.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        if index < len(self.node.args):
+            return self.node.args[index]
+        return None
+
+    def value(self, index: int, keyword: str, default: int | None = None) -> int | None:
+        expr = self.expr(index, keyword)
+        if expr is None:
+            return default
+        return _fold(expr, self.env)
+
+
+def _field_degree(expr: ast.expr | None, env: dict[str, int]) -> int | None:
+    """Extension degree m of a field argument, when statically known."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Name) and expr.id in KNOWN_FIELDS:
+        return KNOWN_FIELDS[expr.id]
+    if isinstance(expr, ast.Attribute) and expr.attr in KNOWN_FIELDS:
+        return KNOWN_FIELDS[expr.attr]
+    if isinstance(expr, ast.Call) and _callee_name(expr.func) == "get_field":
+        call = _CallArgs(expr, env)
+        return call.value(0, "m")
+    return None
+
+
+def _violation(rule: Rule, node: ast.Call, ctx: FileContext, message: str) -> Violation:
+    return Violation(
+        rule=rule, path=ctx.path, line=node.lineno, col=node.col_offset, message=message
+    )
+
+
+def _check_dimensions(
+    n: int | None, k: int | None, node: ast.Call, ctx: FileContext, what: str
+) -> Iterator[Violation]:
+    if n is not None and k is not None and not 0 < k < n:
+        yield _violation(
+            DIMENSION_CONSISTENCY,
+            node,
+            ctx,
+            f"{what}(n={n}, k={k}) violates 0 < k < n (r = n - k would be {n - k})",
+        )
+
+
+def _check_rs(
+    node: ast.Call, env: dict[str, int], ctx: FileContext, extended: bool
+) -> Iterator[Violation]:
+    call = _CallArgs(node, env)
+    n = call.value(1, "n")
+    k = call.value(2, "k")
+    what = "SinglyExtendedRS" if extended else "ReedSolomonCode"
+    yield from _check_dimensions(n, k, node, ctx, what)
+    m = _field_degree(call.expr(0, "field"), env)
+    if m is None or n is None:
+        return
+    limit = (1 << m) if extended else (1 << m) - 1
+    if n > limit:
+        detail = (
+            f"n={n} exceeds the singly-extended bound 2^{m} = {limit}"
+            if extended
+            else f"n={n} exceeds 2^{m} - 1 = {limit}"
+        )
+        yield _violation(RS_LENGTH_BOUND, node, ctx, f"{what} over GF(2^{m}): {detail}")
+
+
+def _check_hamming(
+    node: ast.Call, env: dict[str, int], ctx: FileContext, hsiao: bool
+) -> Iterator[Violation]:
+    call = _CallArgs(node, env)
+    n = call.value(0, "n")
+    k = call.value(1, "k")
+    what = "HsiaoSECDED" if hsiao else "HammingSEC"
+    yield from _check_dimensions(n, k, node, ctx, what)
+    if n is None or k is None or not 0 < k < n:
+        return
+    r = n - k
+    if hsiao:
+        if (1 << (r - 1)) < n:
+            yield _violation(
+                DIMENSION_CONSISTENCY,
+                node,
+                ctx,
+                f"HsiaoSECDED(n={n}, k={k}): SEC-DED needs 2^(r-1) >= n, "
+                f"but 2^{r - 1} = {1 << (r - 1)} < {n}",
+            )
+    elif (1 << r) < n + 1:
+        yield _violation(
+            DIMENSION_CONSISTENCY,
+            node,
+            ctx,
+            f"HammingSEC(n={n}, k={k}): SEC needs 2^r >= n + 1, "
+            f"but 2^{r} = {1 << r} < {n + 1}",
+        )
+
+
+def _rank_geometry(expr: ast.expr | None) -> _Geometry | None:
+    if expr is None:
+        return KNOWN_DEVICES[KNOWN_RANKS["RANK_X8_4CHIP"]]  # PairScheme default
+    name = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    if name in KNOWN_RANKS:
+        return KNOWN_DEVICES[KNOWN_RANKS[name]]
+    if name in KNOWN_DEVICES:
+        return KNOWN_DEVICES[name]
+    return None
+
+
+def _check_segmentation(
+    geometry: _Geometry,
+    data_symbols: int,
+    parity_symbols: int,
+    symbol_bits: int,
+    node: ast.Call,
+    ctx: FileContext,
+    what: str,
+) -> Iterator[Violation]:
+    segment_data_bits = data_symbols * symbol_bits
+    segment_parity_bits = parity_symbols * symbol_bits
+    data_bits = geometry.data_bits_per_pin_per_row
+    if segment_data_bits <= 0:
+        return
+    if data_bits % segment_data_bits:
+        yield _violation(
+            PIN_ALIGNMENT,
+            node,
+            ctx,
+            f"{what}: pin data region ({data_bits}b) does not tile into "
+            f"{segment_data_bits}b segments (data_symbols={data_symbols} x "
+            f"{symbol_bits}b)",
+        )
+        return
+    segments = data_bits // segment_data_bits
+    if segments * segment_parity_bits > geometry.spare_bits_per_pin_per_row:
+        yield _violation(
+            PIN_ALIGNMENT,
+            node,
+            ctx,
+            f"{what}: parity needs {segments} x {segment_parity_bits}b = "
+            f"{segments * segment_parity_bits}b of spare, device has "
+            f"{geometry.spare_bits_per_pin_per_row}b per pin",
+        )
+    if segment_data_bits % geometry.burst_length:
+        yield _violation(
+            PIN_ALIGNMENT,
+            node,
+            ctx,
+            f"{what}: segment ({segment_data_bits}b) must cover whole "
+            f"BL{geometry.burst_length} column accesses",
+        )
+
+
+def _check_pair(node: ast.Call, env: dict[str, int], ctx: FileContext) -> Iterator[Violation]:
+    call = _CallArgs(node, env)
+    data_symbols = call.value(1, "data_symbols", default=240)
+    parity_symbols = call.value(2, "parity_symbols", default=16)
+    if data_symbols is None or parity_symbols is None:
+        return
+    n = data_symbols + parity_symbols
+    yield from _check_dimensions(n, data_symbols, node, ctx, "PairScheme")
+    # PAIR's inner code is SinglyExtendedRS over GF(2^8): inner n <= 2^8.
+    if n > 256:
+        yield _violation(
+            RS_LENGTH_BOUND,
+            node,
+            ctx,
+            f"PairScheme: data+parity = {n} symbols exceeds the GF(2^8) "
+            f"singly-extended bound 256",
+        )
+        return
+    geometry = _rank_geometry(call.expr(0, "rank"))
+    if geometry is None:
+        return
+    yield from _check_segmentation(
+        geometry, data_symbols, parity_symbols, 8, node, ctx, "PairScheme"
+    )
+
+
+def _check_layout(
+    node: ast.Call, env: dict[str, int], ctx: FileContext, beat: bool
+) -> Iterator[Violation]:
+    call = _CallArgs(node, env)
+    data_symbols = call.value(1, "data_symbols", default=240)
+    parity_symbols = call.value(2, "parity_symbols", default=16)
+    symbol_bits = call.value(3, "symbol_bits", default=8)
+    if data_symbols is None or parity_symbols is None or symbol_bits is None:
+        return
+    geometry = _rank_geometry(call.expr(0, "device"))
+    if geometry is None:
+        return
+    what = "BeatAlignedLayout" if beat else "PinAlignedLayout"
+    if beat:
+        # Beat orientation spreads segments across pins; only the coarse
+        # fit checks apply (span divisibility needs runtime geometry).
+        if (data_symbols * symbol_bits) % geometry.pins:
+            yield _violation(
+                PIN_ALIGNMENT,
+                node,
+                ctx,
+                f"{what}: segment ({data_symbols * symbol_bits}b) must divide "
+                f"across {geometry.pins} pins",
+            )
+        return
+    yield from _check_segmentation(
+        geometry, data_symbols, parity_symbols, symbol_bits, node, ctx, what
+    )

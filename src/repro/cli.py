@@ -29,10 +29,10 @@ from .analysis import format_series, format_table, geomean
 from .dram import AddressMapper, RANK_X8_5CHIP
 from .perf import WORKLOADS, generate_trace, simulate
 from .reliability import ExactRunConfig, build_model, run_burst_lengths
-from .schemes import default_schemes
+from .schemes import EccScheme, default_schemes
 
 
-def _scheme_lineup(names: Sequence[str] | None):
+def _scheme_lineup(names: Sequence[str] | None) -> list[EccScheme]:
     schemes = default_schemes()
     if not names:
         return schemes
@@ -144,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_schemes(p):
+    def add_schemes(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--schemes", nargs="*", metavar="NAME",
             help="subset of: no-ecc iecc-sec xed duo pair (default: all)",

@@ -1,5 +1,6 @@
 """Coding substrate: Reed-Solomon, Hamming/Hsiao, parity and interleaving."""
 
+from . import protocols
 from .base import BlockCode, DecodeResult, DecodeStatus
 from .crc import CRC8_DDR5, CRC16_CCITT, CrcCode
 from .hamming import HammingSEC, HsiaoSECDED
@@ -26,6 +27,7 @@ __all__ = [
     "RSDecodeFailure",
     "SinglyExtendedRS",
     "XorParity",
+    "protocols",
     "block_interleave",
     "block_deinterleave",
     "pin_aligned_symbols",

@@ -33,11 +33,13 @@ polynomial degrees) with Chien-search tables cached per ``(field, n)``.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ..galois import poly
 from ..galois.batch import batch_syndromes, syndrome_tables
-from ..galois.gf2m import GF2m
+from ..galois.gf2m import GF2m, MulRows
 from .base import BlockCode, DecodeResult, DecodeStatus
 
 
@@ -71,7 +73,7 @@ def _pdeg(p: list[int]) -> int:
     return -1
 
 
-def _pmul(a: list[int], b: list[int], mt) -> list[int]:
+def _pmul(a: list[int], b: list[int], mt: MulRows) -> list[int]:
     """Schoolbook polynomial product over the field."""
     out = [0] * (len(a) + len(b) - 1)
     for i, ai in enumerate(a):
@@ -92,7 +94,7 @@ def _padd(a: list[int], b: list[int]) -> list[int]:
     return out
 
 
-def _pmul_low(a: list[int], b: list[int], limit: int, mt) -> list[int]:
+def _pmul_low(a: list[int], b: list[int], limit: int, mt: MulRows) -> list[int]:
     """Low coefficients of the product: ``(a * b) mod x^limit``."""
     out = [0] * min(len(a) + len(b) - 1, limit)
     top = len(out)
@@ -108,7 +110,7 @@ def _pmul_low(a: list[int], b: list[int], limit: int, mt) -> list[int]:
     return out
 
 
-def _peval(p: list[int], x: int, mt) -> int:
+def _peval(p: list[int], x: int, mt: MulRows) -> int:
     """Evaluate ``p`` at nonzero ``x`` via Horner's rule."""
     acc = 0
     row = mt[x]
@@ -300,7 +302,7 @@ def exp_log_div(log: list[int], a: int, b: int, q1: int) -> int:
 
 
 def _normalize_erasures(
-    erasures, batch: int
+    erasures: Sequence[tuple[int, ...]] | None, batch: int
 ) -> list[tuple[int, ...]]:
     """Per-word erasure tuples for a batch (None -> no erasures anywhere)."""
     if erasures is None:
@@ -443,7 +445,7 @@ class ReedSolomonCode(BlockCode):
         return self.decode_batch(received[None, :], (tuple(erasures),))[0]
 
     def decode_batch(
-        self, words: np.ndarray, erasures=None
+        self, words: np.ndarray, erasures: Sequence[tuple[int, ...]] | None = None
     ) -> list[DecodeResult]:
         """Decode a ``(batch, n)`` matrix of received words.
 
@@ -609,7 +611,7 @@ class SinglyExtendedRS(BlockCode):
         return self.decode_batch(received[None, :], (tuple(erasures),))[0]
 
     def decode_batch(
-        self, words: np.ndarray, erasures=None
+        self, words: np.ndarray, erasures: Sequence[tuple[int, ...]] | None = None
     ) -> list[DecodeResult]:
         """Decode a ``(batch, n)`` matrix of received extended words.
 

@@ -25,6 +25,8 @@ end of each pin's storage.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from .config import DeviceConfig
@@ -68,7 +70,7 @@ class SegmentedLayout:
         shifts = np.arange(self.symbol_bits, dtype=np.int64)
         return (bits.astype(np.int64) << shifts).sum(axis=-1)
 
-    def gather_many(self, row: np.ndarray, codewords) -> np.ndarray:
+    def gather_many(self, row: np.ndarray, codewords: Sequence[int]) -> np.ndarray:
         """Symbols of several codewords at once, shape ``(len(codewords), n)``.
 
         One fancy-indexed gather for the whole group - the batched read path

@@ -2,11 +2,22 @@
 
 from . import batch, linalg2, poly
 from .batch import batch_syndromes, syndrome_tables
-from .gf2m import GF256, GF2m, PRIMITIVE_POLYNOMIALS, get_field
+from .gf2m import (
+    GF256,
+    GF2m,
+    GFArray,
+    GFScalar,
+    GFValues,
+    PRIMITIVE_POLYNOMIALS,
+    get_field,
+)
 
 __all__ = [
     "GF2m",
     "GF256",
+    "GFArray",
+    "GFScalar",
+    "GFValues",
     "PRIMITIVE_POLYNOMIALS",
     "get_field",
     "poly",

@@ -12,7 +12,26 @@ that Monte-Carlo reliability runs can stay vectorised.
 
 from __future__ import annotations
 
+from typing import TypeAlias, Union
+
 import numpy as np
+
+#: A single GF(2^m) symbol stored as a plain integer.  Annotating a value
+#: ``GFScalar`` (or ``GFArray``) marks it as field-domain for the REPRO111
+#: GF-safety rule: raw ``*``/``/``/``**``/``%`` on it is flagged; arithmetic
+#: must go through the :class:`GF2m` kernels (XOR is the field addition).
+GFScalar: TypeAlias = int
+
+#: A numpy integer array of GF(2^m) symbols (same REPRO111 marker semantics).
+GFArray: TypeAlias = np.ndarray
+
+#: Accepted by the elementwise kernels: one symbol or an array of them.
+GFValues: TypeAlias = Union[GFScalar, GFArray]
+
+#: Row-indexed multiplication table from :meth:`GF2m.mul_rows`:
+#: ``mt[a][b] == mul(a, b)`` (dense lists for small fields, an on-the-fly
+#: view for large ones).
+MulRows: TypeAlias = "list[list[int]] | _OnTheFlyMulRows"
 
 # Default primitive polynomials for GF(2^m), expressed as integers whose bits
 # are the polynomial coefficients (bit m is the leading x^m term).  These are
@@ -96,13 +115,13 @@ class GF2m:
 
     # -- scalar/array arithmetic ------------------------------------------
 
-    def add(self, a, b):
+    def add(self, a: GFValues, b: GFValues) -> GFValues:
         """Field addition (XOR); works on ints and numpy arrays alike."""
         return a ^ b
 
     sub = add  # characteristic 2: subtraction is addition
 
-    def mul(self, a, b):
+    def mul(self, a: GFValues, b: GFValues) -> GFValues:
         """Field multiplication of scalars or same-shape numpy arrays."""
         if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
             if a == 0 or b == 0:
@@ -114,7 +133,7 @@ class GF2m:
         zero = (a == 0) | (b == 0)
         return np.where(zero, 0, out)
 
-    def inv(self, a):
+    def inv(self, a: GFValues) -> GFValues:
         """Multiplicative inverse; raises ZeroDivisionError on zero."""
         if isinstance(a, (int, np.integer)):
             if a == 0:
@@ -125,7 +144,7 @@ class GF2m:
             raise ZeroDivisionError("inverse of zero in GF(2^m)")
         return self._exp[(self.order - 1) - self._log[a]]
 
-    def div(self, a, b):
+    def div(self, a: GFValues, b: GFValues) -> GFValues:
         """Field division ``a / b``."""
         if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
             if b == 0:
@@ -140,7 +159,7 @@ class GF2m:
         out = self._exp[self._log[a] - self._log[b] + (self.order - 1)]
         return np.where(a == 0, 0, out)
 
-    def pow(self, a, e: int):
+    def pow(self, a: GFValues, e: int) -> GFValues:
         """Raise ``a`` to integer power ``e`` (negative allowed for nonzero a)."""
         if isinstance(a, (int, np.integer)):
             if a == 0:
@@ -158,11 +177,11 @@ class GF2m:
             return np.ones_like(a)
         return np.where(a == 0, 0, out)
 
-    def alpha_pow(self, e: int) -> int:
+    def alpha_pow(self, e: int) -> GFScalar:
         """Return ``alpha^e`` for the primitive element alpha."""
         return int(self._exp[e % (self.order - 1)])
 
-    def mul_rows(self):
+    def mul_rows(self) -> MulRows:
         """Row-indexed multiplication table: ``mul_rows()[a][b] == mul(a, b)``.
 
         For small fields (order <= 4096) this is a dense list-of-lists, so the
@@ -195,7 +214,7 @@ class GF2m:
         """All field elements ``0 .. 2^m - 1`` as an array."""
         return np.arange(self.order, dtype=np.int64)
 
-    def to_bits(self, symbols, width: int | None = None) -> np.ndarray:
+    def to_bits(self, symbols: GFValues, width: int | None = None) -> np.ndarray:
         """Expand an array of symbols into a bit array (LSB first per symbol)."""
         width = width if width is not None else self.m
         symbols = np.asarray(symbols, dtype=np.int64)
@@ -208,13 +227,13 @@ class GF2m:
         shifts = np.arange(bits.shape[-1], dtype=np.int64)
         return (bits << shifts).sum(axis=-1)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[object, tuple[int, int]]:
         # Pickle as a get_field call: workers rehydrate the process-local
         # cached instance (tables, mult rows and all) instead of shipping
         # megabytes of tables across the process boundary.
         return (get_field, (self.m, self.poly))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, GF2m) and other.m == self.m and other.poly == self.poly
 
     def __hash__(self) -> int:
@@ -247,7 +266,7 @@ class _OnTheFlyMulRows:
         self._exp = exp
         self._log = log
 
-    def __getitem__(self, a: int):
+    def __getitem__(self, a: int) -> _OnTheFlyMulRow:
         return _OnTheFlyMulRow(self._exp, self._log, self._log[a])
 
 

@@ -8,6 +8,8 @@ slice, stack and vectorise inside the Reed-Solomon codec).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from .gf2m import GF2m
@@ -140,7 +142,7 @@ def derivative(field: GF2m, p: np.ndarray) -> np.ndarray:
     return trim(d)
 
 
-def from_roots(field: GF2m, roots) -> np.ndarray:
+def from_roots(field: GF2m, roots: Iterable[int]) -> np.ndarray:
     """Monic polynomial with the given roots: prod (x - r)."""
     p = np.array([1], dtype=np.int64)
     for r in roots:

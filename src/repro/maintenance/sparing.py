@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..dram.device import DramDevice
 from ..schemes.base import EccScheme, LineReadResult
 from .scrubber import ScrubReport, Scrubber
@@ -90,7 +92,7 @@ class MaintenanceController:
 
     # -- address-translated datapath ----------------------------------------
 
-    def write_line(self, bank: int, row: int, col: int, data) -> None:
+    def write_line(self, bank: int, row: int, col: int, data: np.ndarray) -> None:
         physical = self.spares.resolve(bank, row)
         self.scheme.write_line(self.chips, bank, physical, col, data)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dram.bank import BankTimingModel
+from ..dram.bank import AccessPlan, BankTimingModel
 from ..dram.timing import DDR5_4800, DramTiming, SchemeTimingOverlay
 from .metrics import PerfResult, summarize
 from .trace import Request
@@ -61,7 +61,7 @@ class MemoryController:
         self.refreshes += 1
         self._next_refresh += t.tREFI
 
-    def _refresh_before(self, bank, now: float, row: int) -> None:
+    def _refresh_before(self, bank: int, now: float, row: int) -> None:
         """Catch up on refresh boundaries the next access would cross.
 
         Refresh is periodic in *service* time, which can run far ahead of
@@ -100,7 +100,7 @@ class MemoryController:
         self._account_bus(plan)
         return plan.data_end
 
-    def _account_bus(self, plan) -> None:
+    def _account_bus(self, plan: AccessPlan) -> None:
         self.bus_free = plan.data_end
         self.bus_busy += plan.data_end - plan.data_start
         if self.config.record_commands:

@@ -25,6 +25,7 @@ Array-at-a-time counterparts of the sequential engines in
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -49,7 +50,9 @@ def _tally_reads(scheme: EccScheme, reads: list) -> Tally:
     return tally
 
 
-def _merge_dispatch(fn, arg_tuples: list[tuple], workers: int) -> Tally:
+def _merge_dispatch(
+    fn: Callable[..., Tally], arg_tuples: list[tuple], workers: int
+) -> Tally:
     """Run chunk workers inline or across processes; merge their tallies."""
     total = Tally()
     if workers <= 1 or len(arg_tuples) <= 1:

@@ -124,7 +124,7 @@ def run_single_fault(
 def _plant_fault(
     kind: FaultType,
     rates: FaultRates,
-    device,
+    device: DramDevice,
     row: int,
     col: int,
     total_bits: int,

@@ -19,13 +19,20 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TypeAlias
 
 import numpy as np
 
 from ..dram.config import RankConfig
-from ..dram.device import DramDevice
+from ..dram.device import DramDevice, FaultOverlayProtocol
 from ..dram.timing import SchemeTimingOverlay
 from ..faults.types import TransferBurst
+
+#: One batched read request: ``(chips, bank, row, col, bursts)`` - the same
+#: tuple :meth:`EccScheme.read_line` takes positionally.
+LineRead: TypeAlias = tuple[
+    "list[DramDevice]", int, int, int, "dict[int, TransferBurst] | None"
+]
 
 
 @dataclass
@@ -80,7 +87,9 @@ class EccScheme(abc.ABC):
 
     # -- datapath -------------------------------------------------------------
 
-    def make_devices(self, overlays=None) -> list[DramDevice]:
+    def make_devices(
+        self, overlays: "list[FaultOverlayProtocol | None] | None" = None
+    ) -> list[DramDevice]:
         """Instantiate the rank's chips, optionally with fault overlays."""
         overlays = overlays or [None] * self.rank.chips
         if len(overlays) != self.rank.chips:
@@ -113,10 +122,7 @@ class EccScheme(abc.ABC):
         index (stored corrupted; see DESIGN.md on burst errors).
         """
 
-    def read_lines(
-        self,
-        reads: list[tuple[list[DramDevice], int, int, int, dict[int, TransferBurst] | None]],
-    ) -> list[LineReadResult]:
+    def read_lines(self, reads: list[LineRead]) -> list[LineReadResult]:
         """Decode many line reads; element-wise equivalent to :meth:`read_line`.
 
         ``reads`` is a sequence of ``(chips, bank, row, col, bursts)``

@@ -31,7 +31,7 @@ from ..dram.timing import SchemeTimingOverlay
 from ..faults.types import TransferBurst
 from ..galois.gf2m import get_field
 from ._common import access_window, faulty_row_with_burst
-from .base import EccScheme, LineReadResult
+from .base import EccScheme, LineRead, LineReadResult
 
 
 class Duo(EccScheme):
@@ -108,7 +108,14 @@ class Duo(EccScheme):
 
     # -- datapath --------------------------------------------------------------
 
-    def write_line(self, chips, bank, row, col, data):
+    def write_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
         data = self._check_line(data)
         data_syms = np.concatenate(
             [self._chip_symbols(data[c]) for c in range(self.rank.data_chips)]
@@ -169,7 +176,7 @@ class Duo(EccScheme):
             corrections=result.corrections,
         )
 
-    def read_lines(self, reads):
+    def read_lines(self, reads: list[LineRead]) -> list[LineReadResult]:
         """Batched reads: all dirty lines through one ``decode_batch`` call.
 
         Reads whose every chip row (ECC chip included) is fault-free and

@@ -51,7 +51,14 @@ class ConventionalIecc(EccScheme):
     def storage_overhead(self) -> float:
         return self.layout.parity_bits / self.layout.k
 
-    def write_line(self, chips, bank, row, col, data):
+    def write_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
         data = self._check_line(data)
         for chip_idx in range(self.rank.data_chips):
             device = chips[chip_idx]

@@ -37,7 +37,7 @@ from ..dram.timing import SchemeTimingOverlay
 from ..faults.types import TransferBurst
 from ..galois.gf2m import get_field
 from ._common import access_window, faulty_row_with_burst
-from .base import EccScheme, LineReadResult
+from .base import EccScheme, LineRead, LineReadResult
 
 
 class PairScheme(EccScheme):
@@ -108,7 +108,14 @@ class PairScheme(EccScheme):
             self._impulse = self.code.inner.impulse_parities()
         return self._impulse
 
-    def write_line(self, chips, bank, row, col, data):
+    def write_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
         """Store a line and incrementally update each touched codeword.
 
         Mirrors the hardware: the old data is already in the open row
@@ -182,7 +189,7 @@ class PairScheme(EccScheme):
             data=out, believed_good=believed_good, corrections=corrections
         )
 
-    def read_lines(self, reads):
+    def read_lines(self, reads: list[LineRead]) -> list[LineReadResult]:
         """Batched reads: one ``decode_batch`` over every codeword touched.
 
         Chip rows with no faults and no burst are skipped outright - the

@@ -68,7 +68,14 @@ class RankSecDed(EccScheme):
             ]
         )
 
-    def write_line(self, chips, bank, row, col, data):
+    def write_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
         data = self._check_line(data)
         for chip_idx in range(self.rank.data_chips):
             chips[chip_idx].write_access(bank, row, col, data[chip_idx])

@@ -72,7 +72,14 @@ class Xed(EccScheme):
     def _parity_chip_index(self) -> int:
         return self.rank.data_chips  # first ECC chip holds the XOR parity
 
-    def write_line(self, chips, bank, row, col, data):
+    def write_line(
+        self,
+        chips: list[DramDevice],
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
         data = self._check_line(data)
         words = []
         for chip_idx in range(self.rank.data_chips):

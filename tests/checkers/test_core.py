@@ -1,0 +1,102 @@
+"""Infrastructure tests: noqa suppression, CLI exit codes, repo cleanliness."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.checkers import ALL_CODES, all_rules, check_paths, parse_noqa
+from repro.checkers.__main__ import main
+
+from .util import findings
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_rule_catalogue_codes_unique_and_grouped():
+    rules = all_rules()
+    codes = [r.code for r in rules]
+    assert len(codes) == len(set(codes))
+    assert all(c.startswith("REPRO1") for c in codes)
+    assert all(r.hint for r in rules)
+
+
+def test_noqa_parsing_forms():
+    noqa = parse_noqa(
+        "x = 1  # repro: noqa\n"
+        "y = 2  # repro: noqa-REPRO101\n"
+        "z = 3  # repro: noqa-REPRO101, REPRO102\n"
+        "plain = 4\n"
+    )
+    assert noqa == {
+        1: {ALL_CODES},
+        2: {"REPRO101"},
+        3: {"REPRO101", "REPRO102"},
+    }
+
+
+def test_noqa_suppresses_matching_code_only():
+    src = """
+        import numpy as np
+        rng = np.random.default_rng()  # repro: noqa-REPRO101
+        bad = np.random.default_rng()  # repro: noqa-REPRO102
+    """
+    assert findings(src) == [("REPRO101", 4)]
+
+
+def test_bare_noqa_suppresses_everything():
+    src = """
+        import numpy as np
+        rng = np.random.default_rng()  # repro: noqa
+    """
+    assert findings(src) == []
+
+
+def test_select_and_ignore_prefixes(tmp_path):
+    bad = tmp_path / "snippet.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()\n"
+        "from repro.galois.gf2m import GF2m\n"
+        "field = GF2m(8)\n"
+    )
+    all_codes = {v.code for v in check_paths([tmp_path])}
+    assert all_codes == {"REPRO101", "REPRO112"}
+    only_det = {v.code for v in check_paths([tmp_path], select=["REPRO10"])}
+    assert only_det == {"REPRO101"}
+    no_det = {v.code for v in check_paths([tmp_path], ignore=["REPRO10"])}
+    assert no_det == {"REPRO112"}
+
+
+def test_syntax_error_reported_as_repro100(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    violations = check_paths([tmp_path])
+    assert [v.code for v in violations] == ["REPRO100"]
+    assert "does not parse" in violations[0].message
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean)]) == 0
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO101" in out and "[fix:" in out
+
+    assert main(["--list-rules"]) == 0
+
+
+def test_repository_is_clean():
+    """The tentpole contract: the checker exits 0 on the repo's own source."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.checkers", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,133 @@
+"""REPRO10x fixture corpus: unseeded RNGs, global state, wall-clock reads."""
+
+from __future__ import annotations
+
+from .util import findings
+
+
+def test_unseeded_default_rng_flagged():
+    src = """
+        import numpy as np
+
+        def draw():
+            rng = np.random.default_rng()
+            return rng.random()
+    """
+    assert findings(src) == [("REPRO101", 5)]
+
+
+def test_seeded_default_rng_silent():
+    src = """
+        import numpy as np
+
+        def draw(seed):
+            rng = np.random.default_rng(seed)
+            child = np.random.default_rng(seed=1234)
+            return rng.random() + child.random()
+    """
+    assert findings(src) == []
+
+
+def test_bare_default_rng_import_flagged():
+    src = """
+        from numpy.random import default_rng
+
+        rng = default_rng()
+        ok = default_rng(7)
+    """
+    assert findings(src) == [("REPRO101", 4)]
+
+
+def test_legacy_np_random_global_state_flagged():
+    src = """
+        import numpy as np
+
+        np.random.seed(0)
+        x = np.random.randint(0, 10)
+    """
+    assert findings(src) == [("REPRO102", 4), ("REPRO102", 5)]
+
+
+def test_np_random_constructors_allowed():
+    src = """
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(42))
+        ss = np.random.SeedSequence(99)
+    """
+    assert findings(src) == []
+
+
+def test_stdlib_random_module_flagged():
+    src = """
+        import random
+
+        x = random.random()
+        y = random.randint(0, 8)
+    """
+    assert findings(src) == [("REPRO102", 4), ("REPRO102", 5)]
+
+
+def test_stdlib_random_from_import_flagged():
+    src = """
+        from random import randint
+
+        x = randint(0, 8)
+    """
+    assert findings(src) == [("REPRO102", 4)]
+
+
+def test_random_instance_classes_allowed():
+    src = """
+        import random
+        from random import Random
+
+        rng = random.Random(42)
+        other = Random(7)
+        x = rng.randint(0, 8)
+    """
+    assert findings(src) == []
+
+
+def test_wall_clock_in_deterministic_core_flagged():
+    src = """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            t0 = time.perf_counter()
+            when = datetime.now()
+            return t0, when
+    """
+    assert findings(src, path="src/repro/faults/snippet.py") == [
+        ("REPRO103", 6),
+        ("REPRO103", 7),
+    ]
+
+
+def test_wall_clock_outside_core_allowed():
+    """Benchmarks and the perf layer time things; REPRO103 is scoped."""
+    src = """
+        import time
+
+        def bench():
+            return time.perf_counter()
+    """
+    assert findings(src, path="benchmarks/bench_snippet.py") == []
+    assert findings(src, path="src/repro/perf/snippet.py") == []
+
+
+def test_deliberately_unseeded_engine_fixture():
+    """The canonical bad engine: unseeded generator driving a tally loop."""
+    src = """
+        import numpy as np
+
+        def run_trials(n_trials):
+            rng = np.random.default_rng()
+            hits = 0
+            for _ in range(n_trials):
+                hits += rng.random() < 0.5
+            return hits
+    """
+    codes = [c for c, _ in findings(src, path="src/repro/reliability/engine.py")]
+    assert codes == ["REPRO101"]

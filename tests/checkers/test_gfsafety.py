@@ -1,0 +1,132 @@
+"""REPRO11x fixture corpus: raw arithmetic on GF values, direct GF2m use."""
+
+from __future__ import annotations
+
+from .util import findings
+
+
+def test_raw_mult_on_field_product_flagged():
+    src = """
+        def syndrome(field, a, b):
+            s = field.mul(a, b)
+            return s * 2
+    """
+    assert findings(src) == [("REPRO111", 4)]
+
+
+def test_taint_flows_through_assignment_and_subscript():
+    src = """
+        def f(field, a, b):
+            prod = field.mul(a, b)
+            alias = prod
+            return alias[0] % 255
+    """
+    assert findings(src) == [("REPRO111", 5)]
+
+
+def test_xor_is_the_field_addition_and_stays_silent():
+    src = """
+        def f(field, a, b):
+            s = field.mul(a, b)
+            t = s ^ field.mul(b, a)
+            return t ^ a
+    """
+    assert findings(src) == []
+
+
+def test_xor_propagates_taint_into_later_arithmetic():
+    src = """
+        def f(field, a, b):
+            s = field.mul(a, b) ^ a
+            return s // 2
+    """
+    assert findings(src) == [("REPRO111", 4)]
+
+
+def test_gf_annotation_marks_parameters():
+    src = """
+        from repro.galois import GFArray
+
+        def f(symbols: GFArray, scale: int):
+            return symbols * scale
+    """
+    assert findings(src) == [("REPRO111", 5)]
+
+
+def test_gf_annotated_assignment_marks_name():
+    src = """
+        from repro.galois import GFScalar
+
+        def f(x):
+            sym: GFScalar = x
+            return sym ** 2
+    """
+    assert findings(src) == [("REPRO111", 6)]
+
+
+def test_gf_name_convention_taints():
+    src = """
+        def f(gf_symbols):
+            return gf_symbols * 3
+    """
+    assert findings(src) == [("REPRO111", 3)]
+
+
+def test_unit_suffixed_names_are_not_symbols():
+    """gf_mult_pj is an energy per GF multiply (a float), not a field value."""
+    src = """
+        def energy(params, n_ops):
+            return params.gf_mult_pj * n_ops + params.gf_lookup_cycles * 2
+    """
+    assert findings(src, path="src/repro/perf/snippet.py") == []
+
+
+def test_taint_through_numpy_wrappers():
+    src = """
+        import numpy as np
+
+        def f(field, a, b):
+            s = np.where(a == 0, 0, field.mul(a, b))
+            return s * 2
+    """
+    assert findings(src) == [("REPRO111", 6)]
+
+
+def test_field_kernel_calls_are_the_fix():
+    src = """
+        def f(field, a, b):
+            s = field.mul(a, b)
+            return field.mul(s, s)
+    """
+    assert findings(src) == []
+
+
+def test_direct_gf2m_construction_flagged():
+    src = """
+        from repro.galois.gf2m import GF2m
+
+        field = GF2m(8)
+    """
+    assert findings(src, path="src/repro/codes/snippet.py") == [("REPRO112", 4)]
+
+
+def test_get_field_is_the_sanctioned_constructor():
+    src = """
+        from repro.galois import get_field
+
+        field = get_field(8)
+    """
+    assert findings(src, path="src/repro/codes/snippet.py") == []
+
+
+def test_galois_kernel_package_is_exempt():
+    """The kernel implements the field ops on table indices - plain ints."""
+    src = """
+        def mul(exp, log, a, b):
+            la = log[a]
+            return exp[la + log[b]] if a and b else 0
+
+        field = GF2m(8)
+    """
+    assert findings(src, path="src/repro/galois/snippet.py") == []
+    assert findings(src, path="tests/galois/test_snippet.py") == []

@@ -1,0 +1,158 @@
+"""REPRO12x fixture corpus: RS bounds, dimension consistency, pin alignment."""
+
+from __future__ import annotations
+
+from repro.checkers.params import KNOWN_DEVICES, KNOWN_FIELDS, KNOWN_RANKS
+from repro.dram import config as dram_config
+from repro.galois import get_field
+
+from .util import findings
+
+PATH = "src/repro/codes/snippet.py"
+
+
+def test_rs_length_bound_violation_flagged():
+    src = """
+        from repro.codes.rs import ReedSolomonCode
+        from repro.galois import get_field
+
+        code = ReedSolomonCode(get_field(8), 300, 200)
+    """
+    assert findings(src, path=PATH) == [("REPRO121", 5)]
+
+
+def test_rs_length_bound_via_named_field_and_constants():
+    src = """
+        from repro.codes.rs import ReedSolomonCode
+        from repro.galois.gf2m import GF256
+
+        N = 2 ** 8
+        code = ReedSolomonCode(GF256, N, N - 16)
+    """
+    # n = 256 > 2^8 - 1 = 255 for the non-extended code.
+    assert findings(src, path=PATH) == [("REPRO121", 6)]
+
+
+def test_singly_extended_rs_reaches_exactly_two_pow_m():
+    """The n = 2^m edge the PAIR geometry uses: legal only when extended."""
+    src = """
+        from repro.codes.rs import SinglyExtendedRS
+        from repro.galois import get_field
+
+        code = SinglyExtendedRS(get_field(8), 256, 240)
+    """
+    assert findings(src, path=PATH) == []
+
+
+def test_singly_extended_rs_bound_is_two_pow_m():
+    src = """
+        from repro.codes.rs import SinglyExtendedRS
+        from repro.galois import get_field
+
+        code = SinglyExtendedRS(get_field(8), 257, 240)
+    """
+    assert findings(src, path=PATH) == [("REPRO121", 5)]
+
+
+def test_dimension_consistency_flagged():
+    src = """
+        from repro.codes.rs import ReedSolomonCode
+        from repro.galois import get_field
+
+        code = ReedSolomonCode(get_field(8), 100, 100)
+    """
+    assert findings(src, path=PATH) == [("REPRO122", 5)]
+
+
+def test_hamming_sec_bound():
+    src = """
+        from repro.codes.hamming import HammingSEC
+
+        ok = HammingSEC(7, 4)
+        bad = HammingSEC(8, 5)
+    """
+    # r = 3 covers n = 7 (2^3 >= 8) but not n = 8 (2^3 < 9).
+    assert findings(src, path=PATH) == [("REPRO122", 5)]
+
+
+def test_hsiao_secded_bound():
+    src = """
+        from repro.codes.hamming import HsiaoSECDED
+
+        ok = HsiaoSECDED(72, 64)
+        bad = HsiaoSECDED(136, 128)
+    """
+    # r = 8: 2^7 = 128 >= 72 but < 136.
+    assert findings(src, path=PATH) == [("REPRO122", 5)]
+
+
+def test_non_static_call_sites_are_skipped():
+    src = """
+        from repro.codes.rs import ReedSolomonCode
+        from repro.galois import get_field
+
+        def build(n, k):
+            return ReedSolomonCode(get_field(8), n, k)
+    """
+    assert findings(src, path=PATH) == []
+
+
+def test_pair_default_geometry_is_clean():
+    src = """
+        from repro.schemes.pair import PairScheme
+
+        scheme = PairScheme()
+    """
+    assert findings(src, path="src/repro/schemes/snippet.py") == []
+
+
+def test_pair_non_tiling_segmentation_flagged():
+    src = """
+        from repro.schemes.pair import PairScheme
+
+        scheme = PairScheme(data_symbols=239, parity_symbols=16)
+    """
+    # 239 x 8 = 1912 bits does not divide the 7680-bit pin data region.
+    assert findings(src, path="src/repro/schemes/snippet.py") == [("REPRO123", 4)]
+
+
+def test_pair_parity_overflow_flagged():
+    src = """
+        from repro.schemes.pair import PairScheme
+
+        scheme = PairScheme(data_symbols=192, parity_symbols=32)
+    """
+    # 5 segments x 256 parity bits = 1280 > the 512-bit spare region.
+    assert findings(src, path="src/repro/schemes/snippet.py") == [("REPRO123", 4)]
+
+
+def test_pair_inner_code_length_capped_at_256():
+    src = """
+        from repro.schemes.pair import PairScheme
+
+        scheme = PairScheme(data_symbols=248, parity_symbols=16)
+    """
+    assert findings(src, path="src/repro/schemes/snippet.py") == [("REPRO121", 4)]
+
+
+def test_known_geometry_matches_presets():
+    """KNOWN_DEVICES / KNOWN_RANKS mirror the real repro.dram.config presets.
+
+    params.py promises this sync test by name; if a preset changes shape,
+    this fails before the checker starts judging call sites with stale
+    geometry.
+    """
+    for name, geometry in KNOWN_DEVICES.items():
+        device = getattr(dram_config, name)
+        assert geometry.pins == device.pins, name
+        assert geometry.burst_length == device.burst_length, name
+        assert geometry.data_bits_per_pin_per_row == device.data_bits_per_pin_per_row, name
+        assert (
+            geometry.spare_bits_per_pin_per_row == device.spare_bits_per_pin_per_row
+        ), name
+    for rank_name, device_name in KNOWN_RANKS.items():
+        rank = getattr(dram_config, rank_name)
+        device = getattr(dram_config, device_name)
+        assert rank.device == device, rank_name
+    for field_name, m in KNOWN_FIELDS.items():
+        assert get_field(m).m == m, field_name

@@ -1,0 +1,21 @@
+"""Shared helper for the checker fixture corpus.
+
+Each rule-family test feeds small good/bad source snippets through
+:func:`repro.checkers.check_source` under a path that places them in the
+wanted scope (e.g. ``src/repro/reliability/...`` for the deterministic
+core) and asserts on exact ``(code, line)`` pairs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checkers import check_source
+
+CORE_PATH = "src/repro/reliability/snippet.py"
+
+
+def findings(source: str, path: str = CORE_PATH) -> list[tuple[str, int]]:
+    """Run all checkers on a dedented snippet; return (code, line) pairs."""
+    violations = check_source(textwrap.dedent(source), path)
+    return [(v.code, v.line) for v in violations]

@@ -22,14 +22,17 @@ def corrupt(rng, word, n_errors, avoid=()):
 
 class TestConstruction:
     def test_rejects_bad_dimensions(self):
+        # Deliberately invalid (n, k): asserting the runtime guard the
+        # static REPRO122 rule mirrors.
         with pytest.raises(ValueError):
-            ReedSolomonCode(GF256, 10, 10)
+            ReedSolomonCode(GF256, 10, 10)  # repro: noqa-REPRO122
         with pytest.raises(ValueError):
-            ReedSolomonCode(GF256, 10, 0)
+            ReedSolomonCode(GF256, 10, 0)  # repro: noqa-REPRO122
 
     def test_rejects_overlong(self):
+        # Deliberately overlong: asserting the runtime guard behind REPRO121.
         with pytest.raises(ValueError):
-            ReedSolomonCode(GF256, 256, 200)
+            ReedSolomonCode(GF256, 256, 200)  # repro: noqa-REPRO121
 
     def test_generator_properties(self):
         rs = ReedSolomonCode(GF256, 255, 239)

@@ -19,8 +19,10 @@ class TestConstruction:
         assert code.d_min == 17
 
     def test_rejects_overlong(self):
+        # Deliberately past the singly-extended bound n = 2^8: asserting the
+        # runtime guard behind REPRO121.
         with pytest.raises(ValueError):
-            SinglyExtendedRS(GF256, 257, 240)
+            SinglyExtendedRS(GF256, 257, 240)  # repro: noqa-REPRO121
 
     def test_extension_symbol_is_sum(self):
         rng = np.random.default_rng(0)
