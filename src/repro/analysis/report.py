@@ -26,6 +26,7 @@ from ..perf.workloads import WORKLOADS
 from ..reliability.analytic import build_model
 from ..reliability.exact import ExactRunConfig, run_burst_lengths
 from ..schemes import EccScheme, default_schemes
+from ..utils.atomic_io import atomic_write_text
 from .sweep import geomean, log_space
 
 
@@ -183,8 +184,11 @@ def generate_report(config: ReportConfig | None = None) -> str:
 
 
 def write_report(path: str, config: ReportConfig | None = None) -> str:
-    """Generate and write the report; returns the path."""
+    """Generate and write the report; returns the path.
+
+    Written atomically so an interrupt mid-report never leaves a
+    half-generated markdown file at the destination.
+    """
     content = generate_report(config)
-    with open(path, "w") as handle:
-        handle.write(content)
+    atomic_write_text(path, content)
     return path

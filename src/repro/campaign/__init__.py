@@ -1,0 +1,50 @@
+"""Resilient Monte-Carlo campaign runner.
+
+Checkpoint/resume over the batched reliability engines, supervised worker
+processes with retry/backoff and quarantine, graceful degradation from the
+vectorized decode path to the scalar fallback, and a deterministic
+chaos-injection harness that proves all of it under test.  See DESIGN.md
+§6d and ``python -m repro campaign --help``.
+"""
+
+from .chaos import ChaosInjected, ChaosSchedule
+from .manifest import Manifest, fingerprint
+from .plan import (
+    ENGINE_BATCHED,
+    ENGINE_SEQUENTIAL,
+    PLAN_VERSION,
+    CampaignPlan,
+    ChunkSpec,
+    build_plan,
+    execute_chunk,
+)
+from .runner import (
+    CampaignConfig,
+    CampaignResult,
+    campaign_status,
+    resume_campaign,
+    start_campaign,
+)
+from .supervisor import ChunkOutcome, Supervisor, SupervisorPolicy
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignPlan",
+    "CampaignResult",
+    "ChaosInjected",
+    "ChaosSchedule",
+    "ChunkOutcome",
+    "ChunkSpec",
+    "ENGINE_BATCHED",
+    "ENGINE_SEQUENTIAL",
+    "Manifest",
+    "PLAN_VERSION",
+    "Supervisor",
+    "SupervisorPolicy",
+    "build_plan",
+    "campaign_status",
+    "execute_chunk",
+    "fingerprint",
+    "resume_campaign",
+    "start_campaign",
+]

@@ -1,0 +1,125 @@
+"""Deterministic chaos injection: prove the supervisor survives on purpose.
+
+Robustness claims need an adversary.  A :class:`ChaosSchedule` injects
+failures into chunk execution *by schedule* - keyed on (chunk index,
+attempt number), never on wall clock or randomness - so a chaos test is
+exactly reproducible and its assertions can be sharp ("chunk 1 crashes on
+attempt 0, the retry succeeds, the final tally is bit-identical").
+
+Fault kinds
+-----------
+* ``crash``   - the worker process dies hard (``os._exit``), like an OOM
+  kill or segfault; the supervisor sees a dead process with no result.
+* ``hang``    - the worker sleeps far past any reasonable deadline; the
+  supervisor must enforce the per-chunk timeout and terminate it.
+* ``raise``   - the *batched* engine raises (simulating a bug in the
+  vectorized kernels) on every attempt; only the sequential-fallback
+  retry can complete the chunk, proving graceful degradation.
+* ``corrupt`` - the worker returns a numerically invalid tally (negative
+  count), which must be caught by the NumericalGuard, not merged.
+* ``abort``   - runner-level: stop the whole campaign after N chunks have
+  been committed, simulating a mid-run SIGKILL; the manifest must stay
+  consistent and a resume must finish the job.
+
+Schedules parse from a compact spec string (used by the CLI and CI smoke)::
+
+    crash:1,hang:2,raise:0,corrupt:3@1,abort:2
+
+``kind:chunk`` injects on attempt 0 by default; ``@a`` (pipe-separated
+``@0|2`` for several) names explicit attempts.  ``raise`` ignores attempt
+numbers (it models a deterministic kernel bug, not a transient).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..reliability.outcomes import Tally
+
+#: how long a "hung" worker sleeps; any sane per-chunk timeout is far below.
+HANG_SECONDS = 3600.0
+
+_WORKER_KINDS = ("crash", "hang", "raise", "corrupt")
+
+
+class ChaosInjected(RuntimeError):
+    """Raised inside a worker by a scheduled ``raise`` fault."""
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Scheduled failure injection for one campaign run.
+
+    Each worker-fault mapping goes from chunk index to the frozenset of
+    attempt numbers that fault; ``abort_after`` is the runner-level kill
+    switch (``None`` disables it).
+    """
+
+    crash: dict[int, frozenset[int]] = field(default_factory=dict)
+    hang: dict[int, frozenset[int]] = field(default_factory=dict)
+    raise_batched: dict[int, frozenset[int]] = field(default_factory=dict)
+    corrupt: dict[int, frozenset[int]] = field(default_factory=dict)
+    abort_after: int | None = None
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosSchedule":
+        """Build a schedule from the compact spec string (see module doc)."""
+        crash: dict[int, frozenset[int]] = {}
+        hang: dict[int, frozenset[int]] = {}
+        raise_batched: dict[int, frozenset[int]] = {}
+        corrupt: dict[int, frozenset[int]] = {}
+        abort_after = None
+        for item in filter(None, (part.strip() for part in spec.split(","))):
+            if ":" not in item:
+                raise ValueError(f"bad chaos item {item!r}; want kind:chunk[@attempts]")
+            kind, rest = item.split(":", 1)
+            if kind == "abort":
+                abort_after = int(rest)
+                continue
+            if kind not in _WORKER_KINDS:
+                raise ValueError(
+                    f"unknown chaos kind {kind!r}; have {', '.join(_WORKER_KINDS)}, abort"
+                )
+            if "@" in rest:
+                chunk_text, attempts_text = rest.split("@", 1)
+                attempts = frozenset(int(a) for a in attempts_text.split("|"))
+            else:
+                chunk_text, attempts = rest, frozenset({0})
+            target = {"crash": crash, "hang": hang, "raise": raise_batched,
+                      "corrupt": corrupt}[kind]
+            target[int(chunk_text)] = attempts
+        return cls(crash=crash, hang=hang, raise_batched=raise_batched,
+                   corrupt=corrupt, abort_after=abort_after)
+
+    # -- worker-side hooks ----------------------------------------------------
+
+    def fire_pre_execute(self, chunk: int, attempt: int, engine: str) -> None:
+        """Apply crash/hang/raise faults before the chunk computes.
+
+        Runs inside the worker process.  ``crash`` and ``hang`` key on the
+        attempt number; ``raise`` fires whenever the batched engine is used
+        on a scheduled chunk (a deterministic vectorized-kernel bug), so the
+        supervisor can only get past it by degrading to the sequential path.
+        """
+        if attempt in self.crash.get(chunk, frozenset()):
+            os._exit(13)  # simulate OOM-kill/segfault: no cleanup, no result
+        if attempt in self.hang.get(chunk, frozenset()):
+            time.sleep(HANG_SECONDS)
+        if engine == "batched" and chunk in self.raise_batched:
+            raise ChaosInjected(
+                f"injected vectorized-kernel failure in chunk {chunk} "
+                f"(attempt {attempt})"
+            )
+
+    def corrupt_tally(self, chunk: int, attempt: int, tally: Tally) -> Tally:
+        """Apply a scheduled ``corrupt`` fault to a finished chunk tally."""
+        if attempt in self.corrupt.get(chunk, frozenset()):
+            return Tally(ok=tally.ok, ce=tally.ce, due=tally.due, sdc=-1)
+        return tally
+
+    # -- runner-side hook ------------------------------------------------------
+
+    def should_abort(self, chunks_committed: int) -> bool:
+        return self.abort_after is not None and chunks_committed >= self.abort_after

@@ -1,0 +1,211 @@
+"""Crash-safe campaign manifest: the checkpoint/resume ledger.
+
+One campaign lives in one directory holding a single ``manifest.json``.
+The manifest records the full campaign config, a SHA-256 *fingerprint* of
+everything that affects results (scheme, rates, trial/seed plan, chunking,
+plan version), the per-chunk tallies committed so far and any quarantined
+chunks.  Every mutation rewrites the file through
+:func:`repro.utils.atomic_io.atomic_write_json`, so a SIGKILL at any moment
+leaves either the previous or the next complete manifest - never a torn
+one.  Resume loads the manifest, recomputes the fingerprint of the
+requested config and refuses with :class:`repro.errors.EngineMismatch` on
+any difference, because merging tallies across different configs would be
+silent nonsense.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import CampaignError, EngineMismatch
+from ..reliability.outcomes import Tally
+from ..utils.atomic_io import atomic_write_json
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def fingerprint(config_dict: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of the result-affecting config."""
+    canon = json.dumps(config_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ChunkRecord:
+    """A committed chunk: its tally plus how it got there."""
+
+    ok: int
+    ce: int
+    due: int
+    sdc: int
+    trials: int
+    attempts: int
+    engine: str
+
+    def tally(self) -> Tally:
+        return Tally(ok=self.ok, ce=self.ce, due=self.due, sdc=self.sdc)
+
+
+@dataclass
+class QuarantineRecord:
+    """A chunk that failed repeatedly; surfaced, never silently dropped."""
+
+    error: str
+    message: str
+    attempts: int
+    seed: int
+
+
+@dataclass
+class Manifest:
+    """In-memory view of one campaign directory's ``manifest.json``."""
+
+    path: Path
+    config: dict[str, Any]
+    fingerprint: str
+    total_chunks: int
+    chunks: dict[int, ChunkRecord] = field(default_factory=dict)
+    quarantined: dict[int, QuarantineRecord] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: str | Path, config: dict[str, Any],
+               total_chunks: int) -> "Manifest":
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = cls(
+            path=directory / MANIFEST_NAME,
+            config=config,
+            fingerprint=fingerprint(config),
+            total_chunks=total_chunks,
+        )
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Manifest":
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            raise CampaignError(f"no campaign manifest at {path}")
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"campaign manifest {path} is unreadable or corrupt: {exc}"
+            ) from exc
+        for key in ("version", "fingerprint", "config", "total_chunks"):
+            if key not in raw:
+                raise CampaignError(f"campaign manifest {path} lacks {key!r}")
+        if raw["version"] != MANIFEST_VERSION:
+            raise CampaignError(
+                f"campaign manifest {path} has version {raw['version']}, "
+                f"this build reads version {MANIFEST_VERSION}"
+            )
+        stored = fingerprint(raw["config"])
+        if stored != raw["fingerprint"]:
+            raise EngineMismatch(
+                f"manifest {path} fingerprint does not match its own config "
+                "(file was edited or mixed between campaigns)",
+                expected=stored, got=raw["fingerprint"],
+            )
+        manifest = cls(
+            path=path,
+            config=raw["config"],
+            fingerprint=raw["fingerprint"],
+            total_chunks=int(raw["total_chunks"]),
+        )
+        for key, rec in raw.get("chunks", {}).items():
+            manifest.chunks[int(key)] = ChunkRecord(**rec)
+        for key, rec in raw.get("quarantined", {}).items():
+            manifest.quarantined[int(key)] = QuarantineRecord(**rec)
+        return manifest
+
+    # -- persistence ----------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "config": self.config,
+            "total_chunks": self.total_chunks,
+            "chunks": {
+                str(i): vars(rec) for i, rec in sorted(self.chunks.items())
+            },
+            "quarantined": {
+                str(i): vars(rec) for i, rec in sorted(self.quarantined.items())
+            },
+        }
+
+    def save(self) -> None:
+        atomic_write_json(self.path, self.as_dict())
+
+    # -- mutation (each call persists atomically) -----------------------------
+
+    def record_chunk(self, index: int, tally: Tally, trials: int,
+                     attempts: int, engine: str) -> None:
+        self.chunks[index] = ChunkRecord(
+            ok=tally.ok, ce=tally.ce, due=tally.due, sdc=tally.sdc,
+            trials=trials, attempts=attempts, engine=engine,
+        )
+        self.quarantined.pop(index, None)
+        self.save()
+
+    def quarantine_chunk(self, index: int, error: str, message: str,
+                         attempts: int, seed: int) -> None:
+        self.quarantined[index] = QuarantineRecord(
+            error=error, message=message, attempts=attempts, seed=seed,
+        )
+        self.save()
+
+    def clear_quarantine(self) -> None:
+        """Give quarantined chunks a fresh attempt budget (used on resume)."""
+        if self.quarantined:
+            self.quarantined.clear()
+            self.save()
+
+    # -- queries --------------------------------------------------------------
+
+    def check_fingerprint(self, config: dict[str, Any]) -> None:
+        got = fingerprint(config)
+        if got != self.fingerprint:
+            raise EngineMismatch(
+                "refusing to resume: campaign config does not match the "
+                f"manifest at {self.path} (scheme/rates/trials/seed/chunking "
+                "must be identical)",
+                expected=self.fingerprint, got=got,
+            )
+
+    def pending_indices(self) -> list[int]:
+        return [i for i in range(self.total_chunks) if i not in self.chunks]
+
+    def merged_tally(self) -> Tally:
+        total = Tally()
+        for _, rec in sorted(self.chunks.items()):
+            total = total.merge(rec.tally())
+        return total
+
+    @property
+    def complete(self) -> bool:
+        return len(self.chunks) == self.total_chunks
+
+    def status(self) -> dict[str, Any]:
+        """Summary dict for ``python -m repro campaign status``."""
+        tally = self.merged_tally()
+        return {
+            "path": str(self.path),
+            "fingerprint": self.fingerprint,
+            "scheme": self.config.get("scheme"),
+            "kind": self.config.get("kind"),
+            "total_chunks": self.total_chunks,
+            "chunks_done": len(self.chunks),
+            "quarantined": sorted(self.quarantined),
+            "trials_done": sum(rec.trials for rec in self.chunks.values()),
+            "complete": self.complete and not self.quarantined,
+            "tally": tally.as_dict(),
+        }

@@ -1,0 +1,152 @@
+"""Deterministic chunk plans: the resumable unit of a campaign.
+
+A campaign is a Monte-Carlo run split into self-contained *chunks*.  The
+split reuses the batched engine's own seed derivation
+(:func:`repro.reliability.batch.iid_epochs` /
+:func:`~repro.reliability.batch.single_fault_specs`), so the set of chunks
+- and every random draw inside each chunk - is a pure function of the
+campaign config.  Two consequences the whole subsystem leans on:
+
+* re-planning after a crash reproduces exactly the chunks of the original
+  run, so a resume only needs to know *which chunk indices* are done;
+* tallies are commutative counts, so merging chunks in any order (including
+  a mix of freshly-run and checkpointed ones) gives the same result as one
+  uninterrupted :func:`repro.reliability.exact.run_iid` - bit for bit.
+
+Chunks carry their pre-sampled coordinates/specs as picklable payloads, so
+a chunk can execute in a supervised worker process with no shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..faults.rates import FaultRates
+from ..faults.types import FaultType
+from ..reliability.batch import (
+    iid_chunk_tally,
+    iid_chunk_tally_sequential,
+    iid_epochs,
+    single_fault_chunk_tally,
+    single_fault_chunk_tally_sequential,
+    single_fault_specs,
+)
+from ..reliability.exact import ExactRunConfig
+from ..reliability.outcomes import Tally
+from ..schemes.base import EccScheme
+
+#: bumped whenever chunking/seed derivation changes; part of the campaign
+#: fingerprint, so an old manifest refuses to resume under a new plan.
+PLAN_VERSION = 1
+
+#: supervisor engine names: the batched decode path and its scalar fallback.
+ENGINE_BATCHED = "batched"
+ENGINE_SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One resumable work unit: index, diagnostics seed, size, payload."""
+
+    index: int
+    seed: int  # representative chip seed (diagnostics / error messages)
+    trials: int
+    payload: Any  # engine-specific, picklable
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The full deterministic decomposition of one campaign."""
+
+    kind: str  # "iid" or "single:<fault-type-value>"
+    scheme: EccScheme
+    rates: FaultRates
+    config: ExactRunConfig
+    chunk_trials: int
+    chunks: tuple[ChunkSpec, ...]
+
+    @property
+    def total_trials(self) -> int:
+        return sum(chunk.trials for chunk in self.chunks)
+
+
+def parse_kind(kind: str) -> FaultType | None:
+    """Validate a campaign kind; returns the fault type for ``single:*``."""
+    if kind == "iid":
+        return None
+    if kind.startswith("single:"):
+        value = kind.split(":", 1)[1]
+        try:
+            return FaultType(value)
+        except ValueError:
+            valid = ", ".join(f.value for f in FaultType)
+            raise ValueError(f"unknown fault type {value!r}; have: {valid}") from None
+    raise ValueError(f"unknown campaign kind {kind!r}; use 'iid' or 'single:<fault>'")
+
+
+def build_plan(
+    scheme: EccScheme,
+    rates: FaultRates,
+    config: ExactRunConfig,
+    chunk_trials: int,
+    kind: str = "iid",
+) -> CampaignPlan:
+    """Derive the chunk set for a campaign config (pure, deterministic)."""
+    fault_kind = parse_kind(kind)
+    chunks: list[ChunkSpec] = []
+    if fault_kind is None:
+        epochs = iid_epochs(scheme, config)
+        every = max(1, config.resample_faults_every)
+        per_chunk = max(1, chunk_trials // every)
+        for index, start in enumerate(range(0, len(epochs), per_chunk)):
+            group = epochs[start : start + per_chunk]
+            chunks.append(
+                ChunkSpec(
+                    index=index,
+                    seed=group[0][0],
+                    trials=sum(len(coords) for _, coords in group),
+                    payload=group,
+                )
+            )
+    else:
+        specs = single_fault_specs(scheme, fault_kind, rates, config)
+        for index, start in enumerate(range(0, len(specs), chunk_trials)):
+            group = specs[start : start + chunk_trials]
+            first_trial = group[0][0]
+            chunks.append(
+                ChunkSpec(
+                    index=index,
+                    seed=config.seed * 7919 + first_trial,
+                    trials=len(group),
+                    payload=group,
+                )
+            )
+    return CampaignPlan(
+        kind=kind,
+        scheme=scheme,
+        rates=rates,
+        config=config,
+        chunk_trials=chunk_trials,
+        chunks=tuple(chunks),
+    )
+
+
+def execute_chunk(plan_kind: str, scheme: EccScheme, rates: FaultRates,
+                  config: ExactRunConfig, spec: ChunkSpec,
+                  engine: str = ENGINE_BATCHED) -> Tally:
+    """Run one chunk to a tally on the requested engine.
+
+    ``engine=ENGINE_BATCHED`` takes the vectorized decode path (the normal
+    case); ``ENGINE_SEQUENTIAL`` takes the scalar fallback
+    (:meth:`~repro.schemes.base.EccScheme.read_lines_sequential`), which by
+    the conformance contract yields the identical tally.
+    """
+    if engine not in (ENGINE_BATCHED, ENGINE_SEQUENTIAL):
+        raise ValueError(f"unknown engine {engine!r}")
+    batched = engine == ENGINE_BATCHED
+    if plan_kind == "iid":
+        fn = iid_chunk_tally if batched else iid_chunk_tally_sequential
+        return fn(scheme, rates, spec.payload)
+    fn = single_fault_chunk_tally if batched else single_fault_chunk_tally_sequential
+    return fn(scheme, rates.with_ber(0.0), config.seed, spec.payload)

@@ -1,0 +1,213 @@
+"""Campaign lifecycle: start, resume, status.
+
+A *campaign* is a named directory plus a config.  ``start_campaign``
+plans the chunks, writes the manifest and runs every pending chunk under
+the supervisor; each committed chunk is checkpointed atomically, so the
+process can die at any instant (SIGKILL included) and ``resume_campaign``
+will finish exactly the chunks that are missing.  Because chunk inputs are
+deterministic and tallies merge commutatively, the resumed result is
+bit-identical to an uninterrupted run - and to the plain sequential
+:func:`repro.reliability.exact.run_iid` for ``kind="iid"``.
+
+Resume refuses to touch a manifest whose config fingerprint differs from
+the requested one (:class:`repro.errors.EngineMismatch`): checkpoints from
+one (scheme, rates, trials, seed, chunking) universe must never be merged
+into another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import CampaignAborted, CampaignError
+from ..faults.rates import DEFAULT_RATES, FaultRates
+from ..reliability.exact import ExactRunConfig
+from ..reliability.outcomes import Tally
+from ..schemes import default_schemes
+from ..schemes.base import EccScheme
+from .chaos import ChaosSchedule
+from .manifest import Manifest, QuarantineRecord
+from .plan import PLAN_VERSION, CampaignPlan, build_plan, parse_kind
+from .supervisor import ChunkSpec, Supervisor, SupervisorPolicy
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that affects a campaign's result (and only that).
+
+    Operational knobs (workers, timeouts, retries) live in
+    :class:`~repro.campaign.supervisor.SupervisorPolicy` instead - they may
+    change freely between a run and its resume without touching the
+    fingerprint.
+    """
+
+    scheme: str = "pair"
+    kind: str = "iid"  # or "single:<fault-type-value>"
+    trials: int = 10_000
+    seed: int = 0
+    resample_faults_every: int = 1
+    chunk_trials: int = 256
+    rates: FaultRates = field(default_factory=lambda: DEFAULT_RATES)
+
+    def __post_init__(self) -> None:
+        parse_kind(self.kind)  # fail fast on an invalid kind
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        if self.chunk_trials <= 0:
+            raise ValueError("chunk_trials must be positive")
+
+    def fingerprint_dict(self) -> dict[str, Any]:
+        """The canonical, JSON-safe view that the manifest fingerprints."""
+        return {
+            "plan_version": PLAN_VERSION,
+            "scheme": self.scheme,
+            "kind": self.kind,
+            "trials": self.trials,
+            "seed": self.seed,
+            "resample_faults_every": self.resample_faults_every,
+            "chunk_trials": self.chunk_trials,
+            "rates": asdict(self.rates),
+        }
+
+    @classmethod
+    def from_manifest_dict(cls, raw: dict[str, Any]) -> "CampaignConfig":
+        return cls(
+            scheme=raw["scheme"],
+            kind=raw["kind"],
+            trials=raw["trials"],
+            seed=raw["seed"],
+            resample_faults_every=raw["resample_faults_every"],
+            chunk_trials=raw["chunk_trials"],
+            rates=FaultRates(**raw["rates"]),
+        )
+
+    def build_scheme(self) -> EccScheme:
+        by_name = {s.name: s for s in default_schemes()}
+        if self.scheme not in by_name:
+            raise CampaignError(
+                f"unknown scheme {self.scheme!r}; have {sorted(by_name)}"
+            )
+        return by_name[self.scheme]
+
+    def build_plan(self) -> CampaignPlan:
+        return build_plan(
+            self.build_scheme(),
+            self.rates,
+            ExactRunConfig(
+                trials=self.trials,
+                seed=self.seed,
+                resample_faults_every=self.resample_faults_every,
+            ),
+            self.chunk_trials,
+            kind=self.kind,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Merged view of a campaign after a run/resume pass."""
+
+    tally: Tally
+    chunks_total: int
+    chunks_done: int
+    quarantined: dict[int, QuarantineRecord]
+
+    @property
+    def complete(self) -> bool:
+        return self.chunks_done == self.chunks_total and not self.quarantined
+
+    def summary(self) -> dict[str, Any]:
+        out = self.tally.as_dict()
+        out["chunks_done"] = self.chunks_done
+        out["chunks_total"] = self.chunks_total
+        out["quarantined"] = sorted(self.quarantined)
+        out["complete"] = self.complete
+        return out
+
+
+def _run_pending(manifest: Manifest, config: CampaignConfig,
+                 plan: CampaignPlan, policy: SupervisorPolicy,
+                 chaos: ChaosSchedule | None) -> CampaignResult:
+    pending = set(manifest.pending_indices())
+    specs = [spec for spec in plan.chunks if spec.index in pending]
+
+    committed = len(manifest.chunks)
+
+    def on_success(spec: ChunkSpec, tally: Tally, attempts: int, engine: str) -> None:
+        nonlocal committed
+        manifest.record_chunk(spec.index, tally, spec.trials, attempts, engine)
+        committed += 1
+        if chaos is not None and chaos.should_abort(committed):
+            raise CampaignAborted(
+                f"chaos abort after {committed} committed chunks "
+                f"(manifest {manifest.path} is consistent; resume to finish)"
+            )
+
+    def on_quarantine(spec: ChunkSpec, error: str, message: str,
+                      attempts: int) -> None:
+        manifest.quarantine_chunk(spec.index, error, message, attempts, spec.seed)
+
+    if specs:
+        supervisor = Supervisor(
+            kind=config.kind,
+            scheme=plan.scheme,
+            rates=config.rates,
+            config=plan.config,
+            policy=policy,
+            chaos=chaos,
+            on_success=on_success,
+            on_quarantine=on_quarantine,
+        )
+        supervisor.run(specs)
+    return CampaignResult(
+        tally=manifest.merged_tally(),
+        chunks_total=manifest.total_chunks,
+        chunks_done=len(manifest.chunks),
+        quarantined=dict(manifest.quarantined),
+    )
+
+
+def start_campaign(directory: str | Path, config: CampaignConfig,
+                   policy: SupervisorPolicy | None = None,
+                   chaos: ChaosSchedule | None = None) -> CampaignResult:
+    """Start (or continue) a campaign in ``directory``.
+
+    If a manifest already exists there, its fingerprint must match
+    ``config`` exactly; the call then behaves like a resume.
+    """
+    policy = policy or SupervisorPolicy()
+    directory = Path(directory)
+    fp_dict = config.fingerprint_dict()
+    plan = config.build_plan()
+    if (directory / "manifest.json").exists():
+        manifest = Manifest.load(directory)
+        manifest.check_fingerprint(fp_dict)
+        manifest.clear_quarantine()
+    else:
+        manifest = Manifest.create(directory, fp_dict, total_chunks=len(plan.chunks))
+    return _run_pending(manifest, config, plan, policy, chaos)
+
+
+def resume_campaign(directory: str | Path,
+                    policy: SupervisorPolicy | None = None,
+                    chaos: ChaosSchedule | None = None) -> CampaignResult:
+    """Finish the pending chunks of the campaign checkpointed in ``directory``.
+
+    The config is reconstructed from the manifest itself, so the only way
+    to resume is with the exact original result universe.  Quarantined
+    chunks get a fresh attempt budget.
+    """
+    manifest = Manifest.load(directory)
+    config = CampaignConfig.from_manifest_dict(manifest.config)
+    manifest.check_fingerprint(config.fingerprint_dict())
+    manifest.clear_quarantine()
+    return _run_pending(
+        manifest, config, config.build_plan(), policy or SupervisorPolicy(), chaos
+    )
+
+
+def campaign_status(directory: str | Path) -> dict[str, Any]:
+    """Manifest summary without running anything."""
+    return Manifest.load(directory).status()

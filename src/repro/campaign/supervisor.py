@@ -1,0 +1,286 @@
+"""Supervised chunk execution: timeouts, retry with backoff, degradation.
+
+Each chunk runs in its own worker *process* (crash isolation: an OOM kill
+or segfault loses one attempt, not the campaign).  The supervisor keeps at
+most ``workers`` chunks in flight and watches each through three channels:
+
+* a result pipe  - the worker reports a tally or a structured error;
+* process health - a dead process with no result is a ``crash``;
+* a deadline     - a worker past its per-chunk timeout is terminated
+  (``timeout``), because a hung chunk must not starve the campaign.
+
+Failed attempts are retried up to ``retries`` extra times with exponential
+backoff plus deterministic jitter (seeded generator - the REPRO101/102
+rules apply here too; jitter affects only sleep lengths, never tallies).
+A failure that *raised from the engine* (or produced a numerically invalid
+tally) retries on the sequential fallback engine instead - graceful
+degradation from the vectorized kernels to the scalar path, which is
+bit-identical by the conformance contract.  Chunks that exhaust their
+budget are quarantined through a callback and surfaced, never silently
+dropped.
+
+Scheduling order never affects results: chunks are deterministic and
+tallies merge commutatively, so ``workers=4`` equals ``workers=1`` equals
+an uninterrupted sequential run, bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import NumericalGuard, guard_tally
+from ..faults.rates import FaultRates
+from ..reliability.exact import ExactRunConfig
+from ..reliability.outcomes import Tally
+from ..schemes.base import EccScheme
+from .chaos import ChaosSchedule
+from .plan import ENGINE_BATCHED, ENGINE_SEQUENTIAL, ChunkSpec, execute_chunk
+
+#: failure kinds the supervisor distinguishes when deciding how to retry.
+FAIL_CRASH = "crash"
+FAIL_TIMEOUT = "timeout"
+FAIL_RAISE = "raise"
+FAIL_NUMERICAL = "numerical"
+
+#: failure kinds that trigger engine degradation on the next attempt.
+_DEGRADE_ON = frozenset({FAIL_RAISE, FAIL_NUMERICAL})
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Operational knobs; none of these can affect a campaign's tally."""
+
+    workers: int = 1
+    timeout: float = 300.0  # per-chunk wall budget, seconds
+    retries: int = 2  # extra attempts after the first
+    backoff: float = 0.5  # base backoff, seconds (doubles per attempt)
+    backoff_cap: float = 30.0
+    poll_interval: float = 0.02
+
+
+@dataclass
+class ChunkOutcome:
+    """What happened to one chunk across all its attempts."""
+
+    spec: ChunkSpec
+    tally: Tally | None = None
+    attempts: int = 0
+    engine: str = ENGINE_BATCHED
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> bool:
+        return self.tally is None
+
+
+@dataclass
+class _Job:
+    """One in-flight attempt."""
+
+    spec: ChunkSpec
+    attempt: int
+    engine: str
+    process: multiprocessing.process.BaseProcess
+    conn: Any  # Connection (parent's receive end)
+    deadline: float
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap on POSIX); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_entry(conn: Any, kind: str, scheme: EccScheme, rates: FaultRates,
+                  config: ExactRunConfig, spec: ChunkSpec, engine: str,
+                  chaos: ChaosSchedule | None, attempt: int) -> None:
+    """Worker-process body: chaos hooks, chunk execution, result report."""
+    try:
+        if chaos is not None:
+            chaos.fire_pre_execute(spec.index, attempt, engine)
+        tally = execute_chunk(kind, scheme, rates, config, spec, engine)
+        if chaos is not None:
+            tally = chaos.corrupt_tally(spec.index, attempt, tally)
+        conn.send(("ok", (tally.ok, tally.ce, tally.due, tally.sdc)))
+    except BaseException as exc:  # report, don't propagate: parent classifies
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class Supervisor:
+    """Run a set of chunks under the policy; report through callbacks."""
+
+    def __init__(
+        self,
+        kind: str,
+        scheme: EccScheme,
+        rates: FaultRates,
+        config: ExactRunConfig,
+        policy: SupervisorPolicy,
+        chaos: ChaosSchedule | None = None,
+        on_success: Callable[[ChunkSpec, Tally, int, str], None] | None = None,
+        on_quarantine: Callable[[ChunkSpec, str, str, int], None] | None = None,
+    ):
+        self.kind = kind
+        self.scheme = scheme
+        self.rates = rates
+        self.config = config
+        self.policy = policy
+        self.chaos = chaos
+        self.on_success = on_success
+        self.on_quarantine = on_quarantine
+        self._ctx = _mp_context()
+        # deterministic jitter: affects sleep lengths only, never results
+        self._jitter_rng = np.random.default_rng([config.seed, 0xBAC0FF])
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self, specs: list[ChunkSpec]) -> dict[int, ChunkOutcome]:
+        """Execute ``specs``; returns per-chunk outcomes (also via callbacks)."""
+        outcomes = {spec.index: ChunkOutcome(spec=spec) for spec in specs}
+        # ready-time priority queue: (ready_at, chunk_index, spec, attempt, engine)
+        pending: list[tuple[float, int, ChunkSpec, int, str]] = [
+            (0.0, spec.index, spec, 0, ENGINE_BATCHED) for spec in specs
+        ]
+        heapq.heapify(pending)
+        active: list[_Job] = []
+        try:
+            while pending or active:
+                now = time.monotonic()
+                while (
+                    pending
+                    and len(active) < self.policy.workers
+                    and pending[0][0] <= now
+                ):
+                    _, _, spec, attempt, engine = heapq.heappop(pending)
+                    active.append(self._launch(spec, attempt, engine))
+                progressed = self._reap(active, pending, outcomes)
+                if not progressed and (pending or active):
+                    time.sleep(self.policy.poll_interval)
+        finally:
+            for job in active:
+                self._terminate(job)
+        return outcomes
+
+    def _launch(self, spec: ChunkSpec, attempt: int, engine: str) -> _Job:
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(send_conn, self.kind, self.scheme, self.rates, self.config,
+                  spec, engine, self.chaos, attempt),
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()  # parent keeps only the receive end
+        return _Job(
+            spec=spec, attempt=attempt, engine=engine, process=process,
+            conn=recv_conn, deadline=time.monotonic() + self.policy.timeout,
+        )
+
+    @staticmethod
+    def _terminate(job: _Job) -> None:
+        if job.process.is_alive():
+            job.process.terminate()
+            job.process.join(timeout=5.0)
+            if job.process.is_alive():  # pragma: no cover - stubborn child
+                job.process.kill()
+                job.process.join()
+        job.conn.close()
+
+    # -- event handling --------------------------------------------------------
+
+    def _reap(self, active: list[_Job], pending: list,
+              outcomes: dict[int, ChunkOutcome]) -> bool:
+        """Collect finished/dead/overdue jobs; returns True if any progressed."""
+        progressed = False
+        for job in list(active):
+            message = None
+            if job.conn.poll():
+                try:
+                    message = job.conn.recv()
+                except (EOFError, OSError):
+                    message = None  # died between poll and recv: treat as crash
+            if message is not None:
+                active.remove(job)
+                job.process.join()
+                job.conn.close()
+                self._handle_message(job, message, pending, outcomes)
+                progressed = True
+            elif not job.process.is_alive():
+                active.remove(job)
+                job.process.join()
+                job.conn.close()
+                code = job.process.exitcode
+                self._handle_failure(
+                    job, FAIL_CRASH,
+                    f"worker process died (exit code {code}) running chunk "
+                    f"{job.spec.index} (seed={job.spec.seed})",
+                    pending, outcomes,
+                )
+                progressed = True
+            elif time.monotonic() > job.deadline:
+                active.remove(job)
+                self._terminate(job)
+                self._handle_failure(
+                    job, FAIL_TIMEOUT,
+                    f"chunk {job.spec.index} (seed={job.spec.seed}) exceeded "
+                    f"its {self.policy.timeout:.1f}s budget and was terminated",
+                    pending, outcomes,
+                )
+                progressed = True
+        return progressed
+
+    def _handle_message(self, job: _Job, message: tuple, pending: list,
+                        outcomes: dict[int, ChunkOutcome]) -> None:
+        if message[0] == "ok":
+            counts = message[1]
+            context = f"chunk {job.spec.index} (seed={job.spec.seed})"
+            try:
+                guard_tally(counts, expected_total=job.spec.trials, context=context)
+            except NumericalGuard as exc:
+                self._handle_failure(job, FAIL_NUMERICAL, str(exc), pending, outcomes)
+                return
+            tally = Tally(ok=counts[0], ce=counts[1], due=counts[2], sdc=counts[3])
+            outcome = outcomes[job.spec.index]
+            outcome.tally = tally
+            outcome.attempts = job.attempt + 1
+            outcome.engine = job.engine
+            if self.on_success is not None:
+                self.on_success(job.spec, tally, job.attempt + 1, job.engine)
+        else:
+            _, exc_type, exc_message = message
+            self._handle_failure(
+                job, FAIL_RAISE,
+                f"chunk {job.spec.index} (seed={job.spec.seed}) raised "
+                f"{exc_type}: {exc_message}",
+                pending, outcomes,
+            )
+
+    def _handle_failure(self, job: _Job, kind: str, message: str, pending: list,
+                        outcomes: dict[int, ChunkOutcome]) -> None:
+        outcome = outcomes[job.spec.index]
+        outcome.failures.append(f"attempt {job.attempt} [{job.engine}] {kind}: {message}")
+        attempts_done = job.attempt + 1
+        if attempts_done > self.policy.retries:
+            outcome.attempts = attempts_done
+            if self.on_quarantine is not None:
+                self.on_quarantine(job.spec, kind, message, attempts_done)
+            return
+        engine = ENGINE_SEQUENTIAL if kind in _DEGRADE_ON else job.engine
+        delay = min(self.policy.backoff_cap, self.policy.backoff * 2**job.attempt)
+        jitter = 0.5 + float(self._jitter_rng.random())  # in [0.5, 1.5)
+        ready_at = time.monotonic() + delay * jitter
+        heapq.heappush(
+            pending, (ready_at, job.spec.index, job.spec, attempts_done, engine)
+        )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands expose the library's engines without writing any code:
+Eight subcommands expose the library's engines without writing any code:
 
 * ``info``                    - scheme/code configuration table (T1);
 * ``reliability``             - analytic failure-probability sweep (F2);
@@ -8,7 +8,9 @@ Four subcommands expose the library's engines without writing any code:
 * ``burst``                   - burst-error coverage (F4);
 * ``energy``                  - per-access energy table (T3);
 * ``headroom``                - max tolerable weak-cell BER per budget (F9);
-* ``report``                  - regenerate the full markdown report.
+* ``report``                  - regenerate the full markdown report;
+* ``campaign``                - resilient long Monte-Carlo campaigns
+  (``run`` / ``resume`` / ``status``) with checkpointing and retry.
 
 Examples::
 
@@ -18,6 +20,10 @@ Examples::
     python -m repro burst --lengths 4 8 16 --trials 10
     python -m repro energy
     python -m repro headroom --targets 1e-15
+    python -m repro campaign run --dir runs/pair-tail --scheme pair \
+        --trials 1000000 --ber 1e-4 --workers 8
+    python -m repro campaign resume --dir runs/pair-tail
+    python -m repro campaign status --dir runs/pair-tail
 """
 
 from __future__ import annotations
@@ -137,6 +143,78 @@ def cmd_report(args: argparse.Namespace) -> None:
     print(f"report written to {path}")
 
 
+def _print_campaign_result(result) -> None:
+    summary = result.summary()
+    print(f"chunks: {summary['chunks_done']}/{summary['chunks_total']} done")
+    if summary["quarantined"]:
+        print(f"quarantined chunks: {summary['quarantined']} "
+              "(see manifest.json for errors; resume retries them)")
+    print(f"trials: {summary['trials']}  ok={summary['ok']} ce={summary['ce']} "
+          f"due={summary['due']} sdc={summary['sdc']}")
+    if summary["trials"]:
+        print(f"sdc_rate={summary['sdc_rate']:.3e}  due_rate={summary['due_rate']:.3e}")
+    if not summary["complete"]:
+        raise SystemExit(1)
+
+
+def _campaign_policy(args: argparse.Namespace):
+    from .campaign import SupervisorPolicy
+
+    return SupervisorPolicy(
+        workers=args.workers, timeout=args.timeout, retries=args.retries,
+        backoff=args.backoff,
+    )
+
+
+def _campaign_chaos(args: argparse.Namespace):
+    from .campaign import ChaosSchedule
+
+    return ChaosSchedule.parse(args.chaos) if args.chaos else None
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> None:
+    from .campaign import CampaignConfig, start_campaign
+    from .errors import CampaignAborted
+    from .faults import DEFAULT_RATES
+
+    config = CampaignConfig(
+        scheme=args.scheme, kind=args.kind, trials=args.trials, seed=args.seed,
+        resample_faults_every=args.resample_every, chunk_trials=args.chunk_trials,
+        rates=DEFAULT_RATES.with_ber(args.ber),
+    )
+    try:
+        result = start_campaign(args.dir, config, _campaign_policy(args),
+                                _campaign_chaos(args))
+    except CampaignAborted as exc:
+        print(f"campaign aborted: {exc}")
+        raise SystemExit(3) from None
+    _print_campaign_result(result)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> None:
+    from .campaign import resume_campaign
+    from .errors import CampaignAborted
+
+    try:
+        result = resume_campaign(args.dir, _campaign_policy(args),
+                                 _campaign_chaos(args))
+    except CampaignAborted as exc:
+        print(f"campaign aborted: {exc}")
+        raise SystemExit(3) from None
+    _print_campaign_result(result)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> None:
+    from .campaign import campaign_status
+
+    status = campaign_status(args.dir)
+    tally = status.pop("tally")
+    for key, value in status.items():
+        print(f"{key:14s} {value}")
+    print(f"{'tally':14s} ok={tally['ok']} ce={tally['ce']} "
+          f"due={tally['due']} sdc={tally['sdc']}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,6 +270,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--full", action="store_true",
                           help="bench-grade sample counts (slow)")
     p_report.set_defaults(func=cmd_report)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="resilient Monte-Carlo campaigns (checkpoint/resume)",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def add_policy(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1)
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="per-chunk wall budget in seconds")
+        p.add_argument("--retries", type=int, default=2,
+                       help="extra attempts per chunk before quarantine")
+        p.add_argument("--backoff", type=float, default=0.5,
+                       help="base retry backoff in seconds (doubles per attempt)")
+        p.add_argument("--chaos", metavar="SPEC", default=None,
+                       help="inject failures, e.g. 'crash:1,hang:2,abort:3' "
+                            "(testing/CI only)")
+
+    p_run = camp_sub.add_parser("run", help="start (or continue) a campaign")
+    p_run.add_argument("--dir", required=True, help="campaign directory")
+    p_run.add_argument("--scheme", default="pair",
+                       help="one of: no-ecc iecc-sec xed duo pair")
+    p_run.add_argument("--kind", default="iid",
+                       help="'iid' or 'single:<fault>' (e.g. single:row)")
+    p_run.add_argument("--trials", type=int, default=10_000)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--ber", type=float, default=1e-4,
+                       help="weak-cell BER applied to the default fault rates")
+    p_run.add_argument("--chunk-trials", type=int, default=256)
+    p_run.add_argument("--resample-every", type=int, default=1)
+    add_policy(p_run)
+    p_run.set_defaults(func=cmd_campaign_run)
+
+    p_resume = camp_sub.add_parser(
+        "resume", help="finish the pending chunks of a checkpointed campaign"
+    )
+    p_resume.add_argument("--dir", required=True)
+    add_policy(p_resume)
+    p_resume.set_defaults(func=cmd_campaign_resume)
+
+    p_status = camp_sub.add_parser("status", help="manifest summary, no execution")
+    p_status.add_argument("--dir", required=True)
+    p_status.set_defaults(func=cmd_campaign_status)
     return parser
 
 

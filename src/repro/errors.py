@@ -1,0 +1,99 @@
+"""Structured error taxonomy for long-running campaigns.
+
+The Monte-Carlo campaigns behind the deep-BER-tail claims run 10^6-10^9
+trials; at that scale worker crashes, hangs and numerical corruption are
+events to be *classified and survived*, not stack traces.  Every failure
+mode the campaign runner (:mod:`repro.campaign`) distinguishes gets its own
+exception type so supervisors, manifests and tests can react by type rather
+than by string-matching tracebacks:
+
+* :class:`CampaignError`    - base class for every campaign-level failure;
+* :class:`ChunkFailure`     - a worker process died (or its pool broke)
+  while executing one chunk; carries the chunk id and seed;
+* :class:`ChunkTimeout`     - a chunk exceeded its per-chunk wall budget
+  and was terminated by the supervisor;
+* :class:`EngineMismatch`   - a resume was attempted against a manifest
+  whose config/scheme/rates fingerprint does not match;
+* :class:`NumericalGuard`   - a tally came back numerically invalid
+  (NaN, negative or inconsistent counts) and must not be merged;
+* :class:`CampaignAborted`  - the campaign stopped before completion but
+  left a consistent manifest behind (resumable).
+
+:func:`guard_tally` is the shared validation choke point: every tally that
+crosses a process boundary goes through it before being merged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class CampaignError(RuntimeError):
+    """Base class for campaign-level failures (see module docstring)."""
+
+
+class ChunkFailure(CampaignError):
+    """A worker crashed (or raised) while executing one chunk."""
+
+    def __init__(self, message: str, chunk_id: int | None = None,
+                 seed: int | None = None):
+        super().__init__(message)
+        self.chunk_id = chunk_id
+        self.seed = seed
+
+
+class ChunkTimeout(CampaignError):
+    """A chunk exceeded its wall-clock budget and was terminated."""
+
+    def __init__(self, message: str, chunk_id: int | None = None,
+                 seconds: float | None = None):
+        super().__init__(message)
+        self.chunk_id = chunk_id
+        self.seconds = seconds
+
+
+class EngineMismatch(CampaignError):
+    """Resume refused: the manifest fingerprint does not match the config."""
+
+    def __init__(self, message: str, expected: str | None = None,
+                 got: str | None = None):
+        super().__init__(message)
+        self.expected = expected
+        self.got = got
+
+
+class NumericalGuard(CampaignError):
+    """A tally is numerically invalid (NaN / negative / inconsistent)."""
+
+
+class CampaignAborted(CampaignError):
+    """The campaign stopped early but the manifest is consistent (resumable)."""
+
+
+def guard_tally(counts: Sequence[int | float], expected_total: int | None = None,
+                context: str = "") -> None:
+    """Validate raw outcome counts before they are merged into a campaign.
+
+    ``counts`` is the ``(ok, ce, due, sdc)`` quadruple of one chunk tally.
+    Raises :class:`NumericalGuard` when any count is NaN, non-finite,
+    negative or non-integral, or when the counts do not sum to
+    ``expected_total`` (the number of trials the chunk was asked to run).
+    """
+    where = f" in {context}" if context else ""
+    if len(counts) != 4:
+        raise NumericalGuard(f"expected 4 outcome counts{where}, got {len(counts)}")
+    total = 0
+    for name, value in zip(("ok", "ce", "due", "sdc"), counts):
+        if value != value:  # NaN (also catches float("nan") without math import)
+            raise NumericalGuard(f"{name} count is NaN{where}")
+        if not isinstance(value, int):
+            if not float(value).is_integer():
+                raise NumericalGuard(f"{name} count {value!r} is not integral{where}")
+            value = int(value)
+        if value < 0:
+            raise NumericalGuard(f"{name} count {value} is negative{where}")
+        total += value
+    if expected_total is not None and total != expected_total:
+        raise NumericalGuard(
+            f"counts sum to {total}, expected {expected_total} trials{where}"
+        )

@@ -15,20 +15,23 @@ from pathlib import Path
 from typing import Iterable
 
 from ..dram.addressing import DramAddress
+from ..utils.atomic_io import atomic_write_text
 from .trace import Request
 
 
 def save_trace(path: str | Path, requests: Iterable[Request]) -> int:
-    """Write requests to a trace file; returns the number written."""
-    count = 0
-    with open(path, "w") as handle:
-        handle.write("# arrival bank row col op(R/W/M)\n")
-        for req in requests:
-            op = "M" if req.is_masked else ("W" if req.is_write else "R")
-            addr = req.address
-            handle.write(f"{req.arrival:.3f} {addr.bank} {addr.row} {addr.col} {op}\n")
-            count += 1
-    return count
+    """Write requests to a trace file; returns the number written.
+
+    The file is replaced atomically (temp file + fsync + rename), so an
+    interrupted save never leaves a truncated trace behind.
+    """
+    lines = ["# arrival bank row col op(R/W/M)"]
+    for req in requests:
+        op = "M" if req.is_masked else ("W" if req.is_write else "R")
+        addr = req.address
+        lines.append(f"{req.arrival:.3f} {addr.bank} {addr.row} {addr.col} {op}")
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return len(lines) - 1
 
 
 def load_trace(path: str | Path) -> list[Request]:

@@ -11,9 +11,16 @@ from .analytic import (
     build_model,
 )
 from .batch import (
+    DEFAULT_CHUNK_TRIALS,
+    iid_chunk_tally,
+    iid_chunk_tally_sequential,
+    iid_epochs,
     run_burst_lengths_batched,
     run_iid_batched,
     run_single_fault_batched,
+    single_fault_chunk_tally,
+    single_fault_chunk_tally_sequential,
+    single_fault_specs,
 )
 from .conditional import WordConditionals, measure_bit_code, measure_symbol_code
 from .exact import ExactRunConfig, run_burst_lengths, run_iid, run_single_fault
@@ -34,6 +41,13 @@ __all__ = [
     "run_iid_batched",
     "run_single_fault_batched",
     "run_burst_lengths_batched",
+    "DEFAULT_CHUNK_TRIALS",
+    "iid_epochs",
+    "iid_chunk_tally",
+    "iid_chunk_tally_sequential",
+    "single_fault_specs",
+    "single_fault_chunk_tally",
+    "single_fault_chunk_tally_sequential",
     "ReliabilityModel",
     "build_model",
     "NoEccModel",

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from ..errors import ChunkFailure
 from ..faults.rates import FaultRates
 from ..faults.types import FaultInstance, FaultType, TransferBurst
 from ..schemes.base import EccScheme
@@ -51,17 +53,36 @@ def _tally_reads(scheme: EccScheme, reads: list) -> Tally:
 
 
 def _merge_dispatch(
-    fn: Callable[..., Tally], arg_tuples: list[tuple], workers: int
+    fn: Callable[..., Tally],
+    arg_tuples: list[tuple],
+    workers: int,
+    labels: list[str] | None = None,
 ) -> Tally:
-    """Run chunk workers inline or across processes; merge their tallies."""
+    """Run chunk workers inline or across processes; merge their tallies.
+
+    A worker process dying (OOM kill, segfault, interpreter crash) breaks
+    the whole pool; that surfaces as :class:`repro.errors.ChunkFailure`
+    naming the first affected chunk (``labels[i]``, which callers build to
+    include the chunk id and seed) instead of a bare pool traceback.
+    """
     total = Tally()
     if workers <= 1 or len(arg_tuples) <= 1:
         for args in arg_tuples:
             total = total.merge(fn(*args))
         return total
+    labels = labels or [f"chunk {i}" for i in range(len(arg_tuples))]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for part in pool.map(fn, *zip(*arg_tuples)):
-            total = total.merge(part)
+        futures = [pool.submit(fn, *args) for args in arg_tuples]
+        for index, (label, future) in enumerate(zip(labels, futures)):
+            try:
+                total = total.merge(future.result())
+            except BrokenProcessPool as exc:
+                raise ChunkFailure(
+                    f"worker process died while running {label}; "
+                    "rerun with workers=1 to isolate, or use repro.campaign "
+                    "for supervised retry",
+                    chunk_id=index,
+                ) from exc
     return total
 
 
@@ -81,6 +102,26 @@ def _sample_iid_coords(scheme: EccScheme, config: ExactRunConfig) -> list[tuple[
     return coords
 
 
+def iid_epochs(
+    scheme: EccScheme, config: ExactRunConfig
+) -> list[tuple[int, list[tuple[int, int, int]]]]:
+    """``(chip_seed, coords)`` fault-universe epochs of an i.i.d. run.
+
+    One epoch per ``resample_faults_every`` run of trials, chip seed
+    ``config.seed + first_trial`` - exactly the rebuild points of the
+    sequential engine.  This is the shared chunking vocabulary: both
+    :func:`run_iid_batched` and the campaign planner
+    (:mod:`repro.campaign.plan`) derive their chunks from it, which is what
+    makes a resumed campaign bit-identical to an uninterrupted run.
+    """
+    coords = _sample_iid_coords(scheme, config)
+    every = max(1, config.resample_faults_every)
+    return [
+        (config.seed + start, coords[start : start + every])
+        for start in range(0, config.trials, every)
+    ]
+
+
 def _iid_chunk(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
     """One dispatch unit: a run of (chip_seed, coords) fault-universe epochs."""
     reads = []
@@ -88,6 +129,32 @@ def _iid_chunk(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
         chips = _make_chips(scheme, rates, seed=chip_seed)
         reads.extend((chips, bank, row, col, None) for bank, row, col in coords)
     return _tally_reads(scheme, reads)
+
+
+def iid_chunk_tally(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
+    """Public alias of the i.i.d. chunk executor (campaign worker entry)."""
+    return _iid_chunk(scheme, rates, epochs)
+
+
+def iid_chunk_tally_sequential(
+    scheme: EccScheme, rates: FaultRates, epochs: list
+) -> Tally:
+    """Scalar-engine twin of :func:`iid_chunk_tally`.
+
+    Builds the same devices from the same seeds but decodes through the
+    scheme's one-line-at-a-time fallback path
+    (:meth:`~repro.schemes.base.EccScheme.read_lines_sequential`), bypassing
+    any batched override.  Bit-identical by the scheme conformance contract;
+    the campaign supervisor degrades to this when the vectorized path raises.
+    """
+    expected = _zero_line(scheme)
+    tally = Tally()
+    for chip_seed, coords in epochs:
+        chips = _make_chips(scheme, rates, seed=chip_seed)
+        reads = [(chips, bank, row, col, None) for bank, row, col in coords]
+        for result in scheme.read_lines_sequential(reads):
+            tally.add(classify(result, expected))
+    return tally
 
 
 def run_iid_batched(
@@ -105,16 +172,17 @@ def run_iid_batched(
     into chunks of roughly ``chunk_trials`` trials, and chunks across
     ``workers`` processes.
     """
-    coords = _sample_iid_coords(scheme, config)
+    epochs = iid_epochs(scheme, config)
     every = max(1, config.resample_faults_every)
-    epochs = [
-        (config.seed + start, coords[start : start + every])
-        for start in range(0, config.trials, every)
-    ]
     per_chunk = max(1, chunk_trials // every)
     chunks = [epochs[i : i + per_chunk] for i in range(0, len(epochs), per_chunk)]
     return _merge_dispatch(
-        _iid_chunk, [(scheme, rates, chunk) for chunk in chunks], workers
+        _iid_chunk,
+        [(scheme, rates, chunk) for chunk in chunks],
+        workers,
+        labels=[
+            f"iid chunk {i} (chip_seed={chunk[0][0]})" for i, chunk in enumerate(chunks)
+        ],
     )
 
 
@@ -149,9 +217,16 @@ def _sample_single_fault_trials(
     return specs
 
 
-def _single_fault_chunk(
+def single_fault_specs(
+    scheme: EccScheme, kind: FaultType, rates: FaultRates, config: ExactRunConfig
+) -> list[tuple[int, int, FaultInstance, TransferBurst | None]]:
+    """Public alias of the single-fault trial pre-sampler (campaign planner)."""
+    return _sample_single_fault_trials(scheme, kind, rates, config)
+
+
+def _single_fault_reads(
     scheme: EccScheme, clean: FaultRates, seed: int, specs: list
-) -> Tally:
+) -> list:
     reads = []
     for trial, col, fault, burst in specs:
         faults_per_chip: list[list[FaultInstance]] = [[] for _ in range(scheme.rank.chips)]
@@ -160,7 +235,33 @@ def _single_fault_chunk(
             scheme, clean, seed=seed * 7919 + trial, faults_per_chip=faults_per_chip
         )
         reads.append((chips, 0, 64, col, {0: burst} if burst is not None else None))
-    return _tally_reads(scheme, reads)
+    return reads
+
+
+def _single_fault_chunk(
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+) -> Tally:
+    return _tally_reads(scheme, _single_fault_reads(scheme, clean, seed, specs))
+
+
+def single_fault_chunk_tally(
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+) -> Tally:
+    """Public alias of the single-fault chunk executor (campaign worker entry)."""
+    return _single_fault_chunk(scheme, clean, seed, specs)
+
+
+def single_fault_chunk_tally_sequential(
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+) -> Tally:
+    """Scalar-engine twin of :func:`single_fault_chunk_tally` (fallback path)."""
+    expected = _zero_line(scheme)
+    tally = Tally()
+    for result in scheme.read_lines_sequential(
+        _single_fault_reads(scheme, clean, seed, specs)
+    ):
+        tally.add(classify(result, expected))
+    return tally
 
 
 def run_single_fault_batched(
@@ -176,7 +277,14 @@ def run_single_fault_batched(
     clean = rates.with_ber(0.0)
     chunks = [specs[i : i + chunk_trials] for i in range(0, len(specs), chunk_trials)]
     return _merge_dispatch(
-        _single_fault_chunk, [(scheme, clean, config.seed, chunk) for chunk in chunks], workers
+        _single_fault_chunk,
+        [(scheme, clean, config.seed, chunk) for chunk in chunks],
+        workers,
+        labels=[
+            f"single-fault[{kind.value}] chunk {i} (first_trial={chunk[0][0]}, "
+            f"seed={config.seed})"
+            for i, chunk in enumerate(chunks)
+        ],
     )
 
 
@@ -225,11 +333,18 @@ def run_burst_lengths_batched(
         }
     out: dict[int, Tally] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for length, tally in pool.map(
-            _burst_length_tally,
-            [scheme] * len(lengths),
-            lengths,
-            [config] * len(lengths),
-        ):
-            out[length] = tally
+        futures = [
+            pool.submit(_burst_length_tally, scheme, length, config)
+            for length in lengths
+        ]
+        for length, future in zip(lengths, futures):
+            try:
+                got_length, tally = future.result()
+            except BrokenProcessPool as exc:
+                raise ChunkFailure(
+                    f"worker process died while running burst length {length} "
+                    f"(seed={config.seed})",
+                    seed=config.seed,
+                ) from exc
+            out[got_length] = tally
     return out

@@ -138,6 +138,18 @@ class EccScheme(abc.ABC):
             for chips, bank, row, col, bursts in reads
         ]
 
+    def read_lines_sequential(self, reads: list[LineRead]) -> list[LineReadResult]:
+        """One-line-at-a-time decode, bypassing any :meth:`read_lines` override.
+
+        Degradation hook for the campaign supervisor: when a chunk raises
+        from a scheme's vectorized decode path, the retry goes through this
+        method, which always takes the scalar :meth:`read_line` loop.  By the
+        conformance contract the results are identical to the batched path,
+        so falling back never changes a tally - it only trades speed for
+        robustness.
+        """
+        return EccScheme.read_lines(self, reads)
+
     @property
     def line_shape(self) -> tuple[int, int, int]:
         """Shape of one line: ``(data_chips, pins, burst_length)``."""

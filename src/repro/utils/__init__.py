@@ -1,0 +1,5 @@
+"""Cross-cutting utilities (crash-safe I/O and friends)."""
+
+from .atomic_io import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]

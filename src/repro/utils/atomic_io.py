@@ -1,0 +1,80 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+A campaign manifest (or a benchmark JSON, or a report) must never be
+observable half-written: a SIGKILL between ``open`` and ``close`` of a
+plain ``open(path, "w")`` leaves a truncated file that poisons every later
+resume.  The helpers here follow the classic recipe:
+
+1. write to a temp file *in the destination directory* (same filesystem,
+   so the final rename is atomic);
+2. flush and ``fsync`` the temp file so the bytes are durable;
+3. ``os.replace`` onto the destination (atomic on POSIX and Windows);
+4. best-effort ``fsync`` of the directory so the rename itself survives
+   power loss.
+
+Readers therefore see either the old complete content or the new complete
+content - never a mixture.  Stray ``*.tmp`` files from a crashed writer are
+harmless and are ignored (and reaped) by the next successful write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: suffix given to in-flight temp files; readers must ignore these.
+TMP_SUFFIX = ".tmp"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (not supported everywhere)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    path = Path(path)
+    directory = path.parent
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{path.name}.", suffix=TMP_SUFFIX
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(directory)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | Path, obj: Any, indent: int = 2,
+                      sort_keys: bool = True) -> Path:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON.
+
+    Serialization happens *before* the temp file is created, so a
+    non-serializable object leaves the existing file untouched.
+    """
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)

@@ -1,0 +1,106 @@
+"""Manifest crash-safety and fingerprint refusal."""
+
+import json
+
+import pytest
+
+from repro.campaign.manifest import MANIFEST_NAME, Manifest, fingerprint
+from repro.errors import CampaignError, EngineMismatch
+from repro.reliability import Tally
+
+CONFIG = {"scheme": "pair", "kind": "iid", "trials": 64, "seed": 0,
+          "resample_faults_every": 1, "chunk_trials": 8,
+          "rates": {"single_cell_ber": 1e-4}, "plan_version": 1}
+
+
+def make(tmp_path, config=None, total=4):
+    return Manifest.create(tmp_path, config or dict(CONFIG), total_chunks=total)
+
+
+class TestFingerprint:
+    def test_stable_under_key_order(self):
+        a = {"x": 1, "y": {"a": 2, "b": 3}}
+        b = {"y": {"b": 3, "a": 2}, "x": 1}
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_sensitive_to_values(self):
+        assert fingerprint({"seed": 0}) != fingerprint({"seed": 1})
+
+
+class TestRoundtrip:
+    def test_create_load_roundtrip(self, tmp_path):
+        manifest = make(tmp_path)
+        manifest.record_chunk(0, Tally(ok=5, ce=2, due=1, sdc=0), trials=8,
+                              attempts=1, engine="batched")
+        manifest.quarantine_chunk(2, "crash", "worker died", attempts=3, seed=77)
+        loaded = Manifest.load(tmp_path)
+        assert loaded.fingerprint == manifest.fingerprint
+        assert loaded.total_chunks == 4
+        assert loaded.chunks[0].tally().as_dict() == Tally(5, 2, 1, 0).as_dict()
+        assert loaded.chunks[0].engine == "batched"
+        assert loaded.quarantined[2].error == "crash"
+        assert loaded.quarantined[2].seed == 77
+        assert loaded.pending_indices() == [1, 2, 3]
+
+    def test_merged_tally_sums_chunks(self, tmp_path):
+        manifest = make(tmp_path)
+        manifest.record_chunk(0, Tally(ok=5, ce=3, due=0, sdc=0), 8, 1, "batched")
+        manifest.record_chunk(1, Tally(ok=7, ce=0, due=1, sdc=0), 8, 2, "sequential")
+        merged = manifest.merged_tally()
+        assert (merged.ok, merged.ce, merged.due, merged.sdc) == (12, 3, 1, 0)
+
+    def test_record_chunk_clears_quarantine(self, tmp_path):
+        manifest = make(tmp_path)
+        manifest.quarantine_chunk(1, "timeout", "slow", 3, seed=5)
+        manifest.record_chunk(1, Tally(ok=8), 8, 1, "batched")
+        assert Manifest.load(tmp_path).quarantined == {}
+
+    def test_status_summary(self, tmp_path):
+        manifest = make(tmp_path)
+        manifest.record_chunk(0, Tally(ok=8), 8, 1, "batched")
+        status = manifest.status()
+        assert status["chunks_done"] == 1
+        assert status["total_chunks"] == 4
+        assert not status["complete"]
+
+
+class TestRefusals:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            Manifest.load(tmp_path)
+
+    def test_truncated_manifest_is_explicit_error(self, tmp_path):
+        # Simulates a non-atomic writer dying mid-write; our own writer can
+        # never produce this, but the reader must still fail loudly.
+        make(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(CampaignError, match="corrupt"):
+            Manifest.load(tmp_path)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        manifest = make(tmp_path)
+        other = dict(CONFIG, seed=99)
+        with pytest.raises(EngineMismatch):
+            manifest.check_fingerprint(other)
+
+    def test_matching_fingerprint_accepted(self, tmp_path):
+        make(tmp_path).check_fingerprint(dict(CONFIG))
+
+    def test_edited_config_detected_on_load(self, tmp_path):
+        make(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        raw = json.loads(path.read_text())
+        raw["config"]["seed"] = 42  # tamper without updating the fingerprint
+        path.write_text(json.dumps(raw))
+        with pytest.raises(EngineMismatch, match="edited or mixed"):
+            Manifest.load(tmp_path)
+
+    def test_version_skew_refused(self, tmp_path):
+        make(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        raw = json.loads(path.read_text())
+        raw["version"] = 99
+        path.write_text(json.dumps(raw))
+        with pytest.raises(CampaignError, match="version"):
+            Manifest.load(tmp_path)

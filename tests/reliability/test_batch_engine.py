@@ -136,3 +136,44 @@ class TestReadLinesContract:
                 assert a.believed_good == b.believed_good, scheme.name
                 assert a.corrections == b.corrections, scheme.name
                 assert np.array_equal(a.data, b.data), scheme.name
+
+
+def _exit_hard(*args):
+    """Module-level so the pool can pickle it; kills the worker process."""
+    import os
+
+    os._exit(17)
+
+
+class TestBrokenPoolHardening:
+    def test_dead_worker_surfaces_as_chunk_failure(self):
+        from repro.errors import ChunkFailure
+        from repro.reliability.batch import _merge_dispatch
+
+        with pytest.raises(ChunkFailure) as excinfo:
+            _merge_dispatch(
+                _exit_hard,
+                [(0,), (1,)],
+                workers=2,
+                labels=["iid chunk 0 (chip_seed=7)", "iid chunk 1 (chip_seed=8)"],
+            )
+        message = str(excinfo.value)
+        assert "chunk 0" in message and "chip_seed=7" in message
+        assert excinfo.value.chunk_id == 0
+
+    def test_sequential_path_fallback_matches_batched(self, schemes):
+        # The campaign's degradation target: scalar fallback executors must
+        # be bit-identical to the batched chunk executors.
+        from repro.reliability.batch import (
+            iid_chunk_tally,
+            iid_chunk_tally_sequential,
+            iid_epochs,
+        )
+
+        rates = DEFAULT_RATES.with_ber(2e-4)
+        config = ExactRunConfig(trials=24, seed=11, resample_faults_every=4)
+        for scheme in schemes:
+            epochs = iid_epochs(scheme, config)
+            a = iid_chunk_tally(scheme, rates, epochs)
+            b = iid_chunk_tally_sequential(scheme, rates, epochs)
+            assert counts(a) == counts(b), scheme.name

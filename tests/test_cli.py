@@ -89,3 +89,46 @@ class TestHeadroom:
         lines = out.splitlines()
         header = next(l for l in lines if "failure_target" in l)
         assert "no-ecc" not in header
+
+
+class TestCampaign:
+    RUN = ["campaign", "run", "--scheme", "pair", "--trials", "16",
+           "--chunk-trials", "8", "--seed", "2", "--backoff", "0.01"]
+
+    def test_run_completes_and_reports(self, capsys, tmp_path):
+        main(self.RUN + ["--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "chunks: 2/2 done" in out
+        assert "trials: 16" in out
+
+    def test_status_after_run(self, capsys, tmp_path):
+        main(self.RUN + ["--dir", str(tmp_path)])
+        capsys.readouterr()
+        main(["campaign", "status", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "complete       True" in out
+        assert "fingerprint" in out
+
+    def test_chaos_abort_exits_3_then_resume_finishes(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.RUN + ["--dir", str(tmp_path), "--chaos", "abort:1"])
+        assert excinfo.value.code == 3
+        capsys.readouterr()
+        main(["campaign", "resume", "--dir", str(tmp_path), "--backoff", "0.01"])
+        out = capsys.readouterr().out
+        assert "chunks: 2/2 done" in out
+
+    def test_resume_without_manifest_errors(self, tmp_path):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            main(["campaign", "resume", "--dir", str(tmp_path / "nope")])
+
+    def test_incomplete_campaign_exits_nonzero(self, capsys, tmp_path):
+        # a persistently crashing chunk leaves the campaign incomplete
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.RUN + ["--dir", str(tmp_path), "--retries", "0",
+                             "--chaos", "crash:0"])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "quarantined" in out

@@ -1,0 +1,57 @@
+"""Crash-safety contract of the atomic write helpers."""
+
+import json
+
+import pytest
+
+from repro.utils.atomic_io import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_creates_file_with_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_content_completely(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("x" * 10_000)
+        atomic_write_text(path, "short")
+        assert path.read_text() == "short"
+
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01\xff")
+        assert path.read_bytes() == b"\x00\x01\xff"
+
+    def test_json_roundtrip_sorted(self, tmp_path):
+        path = tmp_path / "data.json"
+        atomic_write_json(path, {"b": 2, "a": [1, 2]})
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": 2}
+
+    def test_no_temp_files_left_after_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "data")
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(TMP_SUFFIX)]
+        assert leftovers == []
+
+    def test_failed_serialization_leaves_original_intact(self, tmp_path):
+        path = tmp_path / "data.json"
+        atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"ok": 1}
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(TMP_SUFFIX)]
+        assert leftovers == []
+
+    def test_stray_temp_file_is_harmless(self, tmp_path):
+        # A crashed writer may leave a temp file; later writes still succeed
+        # and the destination only ever holds complete content.
+        path = tmp_path / "out.txt"
+        (tmp_path / f".out.txt.abc{TMP_SUFFIX}").write_text("partial garbage")
+        atomic_write_text(path, "complete")
+        assert path.read_text() == "complete"
