@@ -27,7 +27,18 @@ Quickstart::
     assert result.believed_good
 """
 
-from . import analysis, codes, dram, faults, galois, maintenance, perf, reliability, schemes
+from . import (
+    analysis,
+    codes,
+    dram,
+    faults,
+    galois,
+    maintenance,
+    obs,
+    perf,
+    reliability,
+    schemes,
+)
 from .codes import DecodeStatus, HammingSEC, ReedSolomonCode, SinglyExtendedRS
 from .dram import DDR5_X4, DDR5_X8, DDR5_X16, DeviceConfig, DramDevice, RankConfig
 from .faults import FaultRates, FaultType
@@ -59,6 +70,7 @@ __all__ = [
     "perf",
     "analysis",
     "maintenance",
+    "obs",
     "ReedSolomonCode",
     "SinglyExtendedRS",
     "HammingSEC",

@@ -165,6 +165,32 @@ def section_headroom(schemes: list[EccScheme], config: ReportConfig) -> str:
     return "## Scaling headroom: max tolerable BER (F9)\n\n" + _md_table(rows)
 
 
+def report_manifest(config: ReportConfig | None = None) -> dict:
+    """Machine-readable description of what a report build would contain.
+
+    This is the stable JSON surface behind ``python -m repro report --json``:
+    the settings and section/scheme lineup, without running the (slow)
+    experiments themselves.  Golden-schema tests pin its keys.
+    """
+    config = config or ReportConfig()
+    return {
+        "kind": "report_manifest",
+        "settings": "quick" if config.quick else "full",
+        "samples": config.samples,
+        "burst_trials": config.burst_trials,
+        "trace_requests": config.trace_requests,
+        "schemes": [s.name for s in default_schemes()],
+        "sections": [
+            "configurations",
+            "reliability",
+            "performance",
+            "bursts",
+            "overheads",
+            "headroom",
+        ],
+    }
+
+
 def generate_report(config: ReportConfig | None = None) -> str:
     """Build the full markdown report string."""
     config = config or ReportConfig()

@@ -22,6 +22,8 @@ from pathlib import Path
 from typing import Any
 
 from ..errors import CampaignError, EngineMismatch
+from ..obs.metrics import merge_snapshots
+from ..obs.trace import span_dicts_snapshot
 from ..reliability.outcomes import Tally
 from ..utils.atomic_io import atomic_write_json
 
@@ -71,6 +73,11 @@ class Manifest:
     total_chunks: int
     chunks: dict[int, ChunkRecord] = field(default_factory=dict)
     quarantined: dict[int, QuarantineRecord] = field(default_factory=dict)
+    # Optional observability section: {"spans": {index: span_dict},
+    # "metrics": metrics_snapshot}.  Never fingerprinted - obs data cannot
+    # gate a resume - and absent entirely when campaigns run without obs,
+    # so pre-obs manifests load unchanged.
+    obs: dict[str, Any] = field(default_factory=dict)
 
     # -- construction ---------------------------------------------------------
 
@@ -124,6 +131,9 @@ class Manifest:
             manifest.chunks[int(key)] = ChunkRecord(**rec)
         for key, rec in raw.get("quarantined", {}).items():
             manifest.quarantined[int(key)] = QuarantineRecord(**rec)
+        obs = raw.get("obs")
+        if isinstance(obs, dict):
+            manifest.obs = obs
         return manifest
 
     # -- persistence ----------------------------------------------------------
@@ -140,6 +150,7 @@ class Manifest:
             "quarantined": {
                 str(i): vars(rec) for i, rec in sorted(self.quarantined.items())
             },
+            **({"obs": self.obs} if self.obs else {}),
         }
 
     def save(self) -> None:
@@ -148,11 +159,14 @@ class Manifest:
     # -- mutation (each call persists atomically) -----------------------------
 
     def record_chunk(self, index: int, tally: Tally, trials: int,
-                     attempts: int, engine: str) -> None:
+                     attempts: int, engine: str,
+                     span: dict[str, Any] | None = None) -> None:
         self.chunks[index] = ChunkRecord(
             ok=tally.ok, ce=tally.ce, due=tally.due, sdc=tally.sdc,
             trials=trials, attempts=attempts, engine=engine,
         )
+        if span is not None:
+            self.obs.setdefault("spans", {})[str(index)] = span
         self.quarantined.pop(index, None)
         self.save()
 
@@ -169,6 +183,14 @@ class Manifest:
             self.quarantined.clear()
             self.save()
 
+    def record_obs_metrics(self, snapshot: dict[str, Any]) -> None:
+        """Fold a run's metrics snapshot into the manifest (merge on resume)."""
+        prior = self.obs.get("metrics")
+        if prior is not None:
+            snapshot = merge_snapshots([prior, snapshot], label="campaign")
+        self.obs["metrics"] = snapshot
+        self.save()
+
     # -- queries --------------------------------------------------------------
 
     def check_fingerprint(self, config: dict[str, Any]) -> None:
@@ -180,6 +202,18 @@ class Manifest:
                 "must be identical)",
                 expected=self.fingerprint, got=got,
             )
+
+    def obs_snapshots(self) -> list[dict[str, Any]]:
+        """The manifest's obs section as snapshot dicts for ``obs report``."""
+        snaps: list[dict[str, Any]] = []
+        metrics_snap = self.obs.get("metrics")
+        if metrics_snap:
+            snaps.append(metrics_snap)
+        spans = self.obs.get("spans", {})
+        if spans:
+            ordered = [spans[k] for k in sorted(spans, key=int)]
+            snaps.append(span_dicts_snapshot(ordered, label="campaign"))
+        return snaps
 
     def pending_indices(self) -> list[int]:
         return [i for i in range(self.total_chunks) if i not in self.chunks]

@@ -23,6 +23,8 @@ from typing import Any
 
 from ..errors import CampaignAborted, CampaignError
 from ..faults.rates import DEFAULT_RATES, FaultRates
+from ..obs import metrics as _obs
+from ..obs import trace as _obs_trace
 from ..reliability.exact import ExactRunConfig
 from ..reliability.outcomes import Tally
 from ..schemes import default_schemes
@@ -135,9 +137,11 @@ def _run_pending(manifest: Manifest, config: CampaignConfig,
 
     committed = len(manifest.chunks)
 
-    def on_success(spec: ChunkSpec, tally: Tally, attempts: int, engine: str) -> None:
+    def on_success(spec: ChunkSpec, tally: Tally, attempts: int, engine: str,
+                   span: dict[str, Any] | None = None) -> None:
         nonlocal committed
-        manifest.record_chunk(spec.index, tally, spec.trials, attempts, engine)
+        manifest.record_chunk(spec.index, tally, spec.trials, attempts, engine,
+                              span=span)
         committed += 1
         if chaos is not None and chaos.should_abort(committed):
             raise CampaignAborted(
@@ -160,7 +164,20 @@ def _run_pending(manifest: Manifest, config: CampaignConfig,
             on_success=on_success,
             on_quarantine=on_quarantine,
         )
-        supervisor.run(specs)
+        # With observability on, this pass owns the process-local registry:
+        # start it clean, and fold whatever was collected into the manifest
+        # even when chaos (or a crash mid-run) aborts the pass - committed
+        # chunks already carry their spans, so resume merges cleanly.
+        if _obs.enabled():
+            _obs.reset()
+            _obs_trace.reset()
+        try:
+            supervisor.run(specs)
+        finally:
+            if _obs.enabled():
+                manifest.record_obs_metrics(
+                    _obs.snapshot(f"campaign-{manifest.fingerprint[:12]}")
+                )
     return CampaignResult(
         tally=manifest.merged_tally(),
         chunks_total=manifest.total_chunks,

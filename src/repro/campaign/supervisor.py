@@ -37,6 +37,8 @@ import numpy as np
 
 from ..errors import NumericalGuard, guard_tally
 from ..faults.rates import FaultRates
+from ..obs import metrics as _obs
+from ..obs import trace as _obs_trace
 from ..reliability.exact import ExactRunConfig
 from ..reliability.outcomes import Tally
 from ..schemes.base import EccScheme
@@ -51,6 +53,20 @@ FAIL_NUMERICAL = "numerical"
 
 #: failure kinds that trigger engine degradation on the next attempt.
 _DEGRADE_ON = frozenset({FAIL_RAISE, FAIL_NUMERICAL})
+
+# Observability (DESIGN.md 6e).  Supervision events are rare relative to the
+# decode work they wrap, so these record unconditionally interesting facts:
+# retries, per-kind failures, quarantines, engine degradations, and how long
+# the supervisor chose to wait before re-dispatching a failed chunk.
+_C_CHUNKS_OK = _obs.counter("campaign.chunks_ok")
+_C_RETRIES = _obs.counter("campaign.retries")
+_C_QUARANTINES = _obs.counter("campaign.quarantines")
+_C_FALLBACKS = _obs.counter("campaign.fallback_activations")
+_C_FAILURES = {
+    kind: _obs.counter(f"campaign.failures.{kind}")
+    for kind in (FAIL_CRASH, FAIL_TIMEOUT, FAIL_RAISE, FAIL_NUMERICAL)
+}
+_H_BACKOFF = _obs.histogram("campaign.backoff_wait_s", _obs.DURATION_BUCKETS_S)
 
 
 @dataclass(frozen=True)
@@ -90,6 +106,7 @@ class _Job:
     process: multiprocessing.process.BaseProcess
     conn: Any  # Connection (parent's receive end)
     deadline: float
+    started: float = 0.0  # monotonic launch time (for the chunk span)
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -100,15 +117,31 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 
 def _worker_entry(conn: Any, kind: str, scheme: EccScheme, rates: FaultRates,
                   config: ExactRunConfig, spec: ChunkSpec, engine: str,
-                  chaos: ChaosSchedule | None, attempt: int) -> None:
-    """Worker-process body: chaos hooks, chunk execution, result report."""
+                  chaos: ChaosSchedule | None, attempt: int,
+                  obs_enabled: bool = False) -> None:
+    """Worker-process body: chaos hooks, chunk execution, result report.
+
+    When the parent has observability on, the worker resets its (possibly
+    fork-inherited) registry, records the chunk's own metrics, and ships the
+    snapshot back alongside the counts; the parent absorbs it, so worker
+    metrics merge into one process-local view exactly like tallies merge.
+    """
     try:
+        if obs_enabled:
+            _obs.reset()
+            _obs_trace.reset()
+            _obs.enable()
         if chaos is not None:
             chaos.fire_pre_execute(spec.index, attempt, engine)
         tally = execute_chunk(kind, scheme, rates, config, spec, engine)
         if chaos is not None:
             tally = chaos.corrupt_tally(spec.index, attempt, tally)
-        conn.send(("ok", (tally.ok, tally.ce, tally.due, tally.sdc)))
+        snap = (
+            _obs.snapshot(f"chunk-{spec.index}-attempt-{attempt}")
+            if obs_enabled
+            else None
+        )
+        conn.send(("ok", (tally.ok, tally.ce, tally.due, tally.sdc), snap))
     except BaseException as exc:  # report, don't propagate: parent classifies
         try:
             conn.send(("error", type(exc).__name__, str(exc)))
@@ -129,7 +162,7 @@ class Supervisor:
         config: ExactRunConfig,
         policy: SupervisorPolicy,
         chaos: ChaosSchedule | None = None,
-        on_success: Callable[[ChunkSpec, Tally, int, str], None] | None = None,
+        on_success: Callable[[ChunkSpec, Tally, int, str, dict | None], None] | None = None,
         on_quarantine: Callable[[ChunkSpec, str, str, int], None] | None = None,
     ):
         self.kind = kind
@@ -178,14 +211,16 @@ class Supervisor:
         process = self._ctx.Process(
             target=_worker_entry,
             args=(send_conn, self.kind, self.scheme, self.rates, self.config,
-                  spec, engine, self.chaos, attempt),
+                  spec, engine, self.chaos, attempt, _obs.enabled()),
             daemon=True,
         )
         process.start()
         send_conn.close()  # parent keeps only the receive end
+        started = time.monotonic()
         return _Job(
             spec=spec, attempt=attempt, engine=engine, process=process,
-            conn=recv_conn, deadline=time.monotonic() + self.policy.timeout,
+            conn=recv_conn, deadline=started + self.policy.timeout,
+            started=started,
         )
 
     @staticmethod
@@ -245,6 +280,7 @@ class Supervisor:
                         outcomes: dict[int, ChunkOutcome]) -> None:
         if message[0] == "ok":
             counts = message[1]
+            snap = message[2] if len(message) > 2 else None
             context = f"chunk {job.spec.index} (seed={job.spec.seed})"
             try:
                 guard_tally(counts, expected_total=job.spec.trials, context=context)
@@ -256,8 +292,22 @@ class Supervisor:
             outcome.tally = tally
             outcome.attempts = job.attempt + 1
             outcome.engine = job.engine
+            span_dict = None
+            if _obs.enabled():
+                _C_CHUNKS_OK.add(1)
+                if snap is not None:
+                    _obs.absorb(snap)
+                rec = _obs_trace.record_span(
+                    "campaign.chunk",
+                    time.monotonic() - job.started,
+                    chunk=job.spec.index,
+                    attempt=job.attempt + 1,
+                    engine=job.engine,
+                    trials=job.spec.trials,
+                )
+                span_dict = rec.as_dict() if rec is not None else None
             if self.on_success is not None:
-                self.on_success(job.spec, tally, job.attempt + 1, job.engine)
+                self.on_success(job.spec, tally, job.attempt + 1, job.engine, span_dict)
         else:
             _, exc_type, exc_message = message
             self._handle_failure(
@@ -271,15 +321,24 @@ class Supervisor:
                         outcomes: dict[int, ChunkOutcome]) -> None:
         outcome = outcomes[job.spec.index]
         outcome.failures.append(f"attempt {job.attempt} [{job.engine}] {kind}: {message}")
+        if _obs.enabled():
+            _C_FAILURES[kind].add(1)
         attempts_done = job.attempt + 1
         if attempts_done > self.policy.retries:
             outcome.attempts = attempts_done
+            if _obs.enabled():
+                _C_QUARANTINES.add(1)
             if self.on_quarantine is not None:
                 self.on_quarantine(job.spec, kind, message, attempts_done)
             return
         engine = ENGINE_SEQUENTIAL if kind in _DEGRADE_ON else job.engine
         delay = min(self.policy.backoff_cap, self.policy.backoff * 2**job.attempt)
         jitter = 0.5 + float(self._jitter_rng.random())  # in [0.5, 1.5)
+        if _obs.enabled():
+            _C_RETRIES.add(1)
+            if engine != job.engine:
+                _C_FALLBACKS.add(1)
+            _H_BACKOFF.observe(delay * jitter)
         ready_at = time.monotonic() + delay * jitter
         heapq.heappush(
             pending, (ready_at, job.spec.index, job.spec, attempts_done, engine)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands expose the library's engines without writing any code:
+Nine subcommands expose the library's engines without writing any code:
 
 * ``info``                    - scheme/code configuration table (T1);
 * ``reliability``             - analytic failure-probability sweep (F2);
@@ -10,7 +10,14 @@ Eight subcommands expose the library's engines without writing any code:
 * ``headroom``                - max tolerable weak-cell BER per budget (F9);
 * ``report``                  - regenerate the full markdown report;
 * ``campaign``                - resilient long Monte-Carlo campaigns
-  (``run`` / ``resume`` / ``status``) with checkpointing and retry.
+  (``run`` / ``resume`` / ``status``) with checkpointing and retry;
+* ``obs``                     - observability: merge and render metric/span
+  exports (``report``), from an ``obs.jsonl`` or a campaign directory.
+
+Commands that execute engines (``perf``, ``burst``, ``campaign run`` /
+``resume``) accept ``--obs-out obs.jsonl`` to enable the observability layer
+for the run and export its snapshots; ``report`` and ``campaign status``
+accept ``--json`` for machine-readable output.
 
 Examples::
 
@@ -21,9 +28,10 @@ Examples::
     python -m repro energy
     python -m repro headroom --targets 1e-15
     python -m repro campaign run --dir runs/pair-tail --scheme pair \
-        --trials 1000000 --ber 1e-4 --workers 8
+        --trials 1000000 --ber 1e-4 --workers 8 --obs-out runs/pair-tail/obs.jsonl
     python -m repro campaign resume --dir runs/pair-tail
-    python -m repro campaign status --dir runs/pair-tail
+    python -m repro campaign status --dir runs/pair-tail --json
+    python -m repro obs report --in runs/pair-tail
 """
 
 from __future__ import annotations
@@ -36,6 +44,30 @@ from .dram import AddressMapper, RANK_X8_5CHIP
 from .perf import WORKLOADS, generate_trace, simulate
 from .reliability import ExactRunConfig, build_model, run_burst_lengths
 from .schemes import EccScheme, default_schemes
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable observability for the run when ``--obs-out`` was given."""
+    if not getattr(args, "obs_out", None):
+        return False
+    from . import obs
+
+    obs.reset_all()
+    obs.enable()
+    return True
+
+
+def _obs_finish(args: argparse.Namespace, label: str) -> None:
+    """Export the run's snapshots to the ``--obs-out`` path (if any)."""
+    if not getattr(args, "obs_out", None):
+        return
+    from . import obs
+
+    path = obs.write_snapshots(
+        args.obs_out, [obs.snapshot(label), obs.spans_snapshot(label)]
+    )
+    obs.disable()
+    print(f"observability export written to {path}")
 
 
 def _scheme_lineup(names: Sequence[str] | None) -> list[EccScheme]:
@@ -72,6 +104,7 @@ def cmd_perf(args: argparse.Namespace) -> None:
     unknown = [w for w in workloads if w not in WORKLOADS]
     if unknown:
         raise SystemExit(f"unknown workload(s) {unknown}; have {sorted(WORKLOADS)}")
+    _obs_begin(args)
     mapper = AddressMapper(RANK_X8_5CHIP)
     rows = []
     through = {s.name: [] for s in schemes}
@@ -89,11 +122,13 @@ def cmd_perf(args: argparse.Namespace) -> None:
         print("\ngeomean throughput:")
         for name, values in through.items():
             print(f"  {name:10s} {geomean(values):8.2f}")
+    _obs_finish(args, "perf")
 
 
 def cmd_burst(args: argparse.Namespace) -> None:
     schemes = _scheme_lineup(args.schemes)
     config = ExactRunConfig(trials=args.trials, seed=args.seed)
+    _obs_begin(args)
     series = {}
     for s in schemes:
         tallies = run_burst_lengths(s, args.lengths, config)
@@ -103,6 +138,7 @@ def cmd_burst(args: argparse.Namespace) -> None:
         ]
     print(f"fraction of reads surviving a per-pin burst ({args.trials} trials):")
     print(format_series("beats", args.lengths, series))
+    _obs_finish(args, "burst")
 
 
 def cmd_energy(args: argparse.Namespace) -> None:
@@ -137,9 +173,15 @@ def cmd_headroom(args: argparse.Namespace) -> None:
 
 
 def cmd_report(args: argparse.Namespace) -> None:
-    from .analysis.report import ReportConfig, write_report
+    from .analysis.report import ReportConfig, report_manifest, write_report
 
-    path = write_report(args.output, ReportConfig(quick=not args.full))
+    config = ReportConfig(quick=not args.full)
+    if args.json:
+        import json
+
+        print(json.dumps(report_manifest(config), sort_keys=True))
+        return
+    path = write_report(args.output, config)
     print(f"report written to {path}")
 
 
@@ -182,12 +224,15 @@ def cmd_campaign_run(args: argparse.Namespace) -> None:
         resample_faults_every=args.resample_every, chunk_trials=args.chunk_trials,
         rates=DEFAULT_RATES.with_ber(args.ber),
     )
+    _obs_begin(args)
     try:
         result = start_campaign(args.dir, config, _campaign_policy(args),
                                 _campaign_chaos(args))
     except CampaignAborted as exc:
         print(f"campaign aborted: {exc}")
         raise SystemExit(3) from None
+    finally:
+        _obs_finish(args, "campaign-run")
     _print_campaign_result(result)
 
 
@@ -195,12 +240,15 @@ def cmd_campaign_resume(args: argparse.Namespace) -> None:
     from .campaign import resume_campaign
     from .errors import CampaignAborted
 
+    _obs_begin(args)
     try:
         result = resume_campaign(args.dir, _campaign_policy(args),
                                  _campaign_chaos(args))
     except CampaignAborted as exc:
         print(f"campaign aborted: {exc}")
         raise SystemExit(3) from None
+    finally:
+        _obs_finish(args, "campaign-resume")
     _print_campaign_result(result)
 
 
@@ -208,11 +256,39 @@ def cmd_campaign_status(args: argparse.Namespace) -> None:
     from .campaign import campaign_status
 
     status = campaign_status(args.dir)
+    if args.json:
+        import json
+
+        print(json.dumps(status, sort_keys=True))
+        return
     tally = status.pop("tally")
     for key, value in status.items():
         print(f"{key:14s} {value}")
     print(f"{'tally':14s} ok={tally['ok']} ce={tally['ce']} "
           f"due={tally['due']} sdc={tally['sdc']}")
+
+
+def cmd_obs_report(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from . import obs
+
+    path = Path(args.input)
+    if path.is_dir():
+        from .campaign import Manifest
+
+        snapshots = Manifest.load(path).obs_snapshots()
+    else:
+        if not path.exists():
+            raise SystemExit(f"no obs export or campaign directory at {path}")
+        snapshots = obs.read_snapshots(path)
+    report = obs.summarize(snapshots)
+    if args.json:
+        import json
+
+        print(json.dumps(report, sort_keys=True))
+        return
+    print(obs.format_report(report))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,10 +316,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decoder-conditional measurement samples")
     p_rel.set_defaults(func=cmd_reliability)
 
+    def add_obs_out(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--obs-out", metavar="PATH", default=None,
+                       help="enable observability and export snapshots to "
+                            "this .jsonl file")
+
     p_perf = sub.add_parser("perf", help="trace-driven performance (F5)")
     add_schemes(p_perf)
     p_perf.add_argument("--workloads", nargs="*", metavar="NAME",
                         help=f"subset of: {' '.join(sorted(WORKLOADS))}")
+    add_obs_out(p_perf)
     p_perf.set_defaults(func=cmd_perf)
 
     p_burst = sub.add_parser("burst", help="burst-error coverage (F4)")
@@ -252,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default=[2, 4, 8, 16], metavar="BEATS")
     p_burst.add_argument("--trials", type=int, default=10)
     p_burst.add_argument("--seed", type=int, default=0)
+    add_obs_out(p_burst)
     p_burst.set_defaults(func=cmd_burst)
 
     p_energy = sub.add_parser("energy", help="per-access energy table (T3)")
@@ -269,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-o", "--output", default="report.md")
     p_report.add_argument("--full", action="store_true",
                           help="bench-grade sample counts (slow)")
+    p_report.add_argument("--json", action="store_true",
+                          help="print the report manifest as JSON instead of "
+                               "building the report")
     p_report.set_defaults(func=cmd_report)
 
     p_camp = sub.add_parser(
@@ -302,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--chunk-trials", type=int, default=256)
     p_run.add_argument("--resample-every", type=int, default=1)
     add_policy(p_run)
+    add_obs_out(p_run)
     p_run.set_defaults(func=cmd_campaign_run)
 
     p_resume = camp_sub.add_parser(
@@ -309,11 +396,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_resume.add_argument("--dir", required=True)
     add_policy(p_resume)
+    add_obs_out(p_resume)
     p_resume.set_defaults(func=cmd_campaign_resume)
 
     p_status = camp_sub.add_parser("status", help="manifest summary, no execution")
     p_status.add_argument("--dir", required=True)
+    p_status.add_argument("--json", action="store_true",
+                          help="print the status dict as JSON")
     p_status.set_defaults(func=cmd_campaign_status)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: merge and render metric/span exports"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="summarize an obs.jsonl export or a campaign's obs data"
+    )
+    p_obs_report.add_argument("--in", dest="input", required=True, metavar="PATH",
+                              help="an obs .jsonl export, or a campaign "
+                                   "directory whose manifest carries obs data")
+    p_obs_report.add_argument("--json", action="store_true",
+                              help="print the merged report as JSON")
+    p_obs_report.set_defaults(func=cmd_obs_report)
     return parser
 
 

@@ -40,7 +40,19 @@ import numpy as np
 from ..galois import poly
 from ..galois.batch import batch_syndromes, syndrome_tables
 from ..galois.gf2m import GF2m, MulRows
+from ..obs import metrics as _obs
 from .base import BlockCode, DecodeResult, DecodeStatus
+
+# Decode-path observability (DESIGN.md 6e).  Counters are bumped per
+# codeword or per Chien search - already the "dirty minority" scale - and
+# only behind the ``_obs.enabled()`` guard.
+_C_WORDS = _obs.counter("rs.decode.words")
+_C_CLEAN = _obs.counter("rs.decode.clean_short_circuit")
+_C_SOLVES = _obs.counter("rs.decode.solver_calls")
+_C_DETECTED = _obs.counter("rs.decode.detected")
+_C_CORRECTED = _obs.counter("rs.decode.corrected_words")
+_C_CHIEN_SEARCHES = _obs.counter("rs.chien.searches")
+_C_CHIEN_POINTS = _obs.counter("rs.chien.points")
 
 
 class RSDecodeFailure(Exception):
@@ -151,6 +163,9 @@ def _chien_tables(field: GF2m, n: int, degree: int) -> dict[str, np.ndarray]:
 
 def _chien_roots(field: GF2m, n: int, psi: list[int]) -> np.ndarray:
     """Coefficient indices ``c`` in ``0..n-1`` with ``psi(alpha^-c) = 0``."""
+    if _obs.enabled():
+        _C_CHIEN_SEARCHES.add(1)
+        _C_CHIEN_POINTS.add(n)
     logm = _chien_tables(field, n, len(psi) - 1)["logm"]
     log = field._log_list
     nz = [j for j, cj in enumerate(psi) if cj]
@@ -200,6 +215,8 @@ def _solve_key_equation(
     f = len(erasure_coeffs)
     if f > r:
         raise RSDecodeFailure("more erasures than redundancy")
+    if _obs.enabled():
+        _C_SOLVES.add(1)
     s_list = syndromes.tolist() if isinstance(syndromes, np.ndarray) else [
         int(s) for s in syndromes
     ]
@@ -299,6 +316,21 @@ def _solve_key_equation(
 def exp_log_div(log: list[int], a: int, b: int, q1: int) -> int:
     """Log of ``a / b`` for nonzero field elements, in ``[0, q1)``."""
     return (log[a] - log[b] + q1) % q1
+
+
+def _record_batch_outcomes(results: "list[DecodeResult | None]", clean: int) -> None:
+    """Tally one decode_batch call's outcomes (only when obs is enabled)."""
+    if not _obs.enabled():
+        return
+    _C_WORDS.add(len(results))
+    _C_CLEAN.add(clean)
+    for res in results:
+        if res is None:
+            continue
+        if res.status is DecodeStatus.DETECTED:
+            _C_DETECTED.add(1)
+        elif res.status is DecodeStatus.CORRECTED:
+            _C_CORRECTED.add(1)
 
 
 def _normalize_erasures(
@@ -465,10 +497,12 @@ class ReedSolomonCode(BlockCode):
         synds = batch_syndromes(self.field, words, self.r, self.fcr)
         results: list[DecodeResult | None] = [None] * words.shape[0]
         candidates: list[tuple[int, np.ndarray, list[int]]] = []
+        clean = 0
         for i in range(words.shape[0]):
             received = words[i]
             ers = per_word_erasures[i]
             if not synds[i].any() and not ers:
+                clean += 1
                 results[i] = DecodeResult(
                     DecodeStatus.OK, received[: self.k].copy(), codeword=received.copy()
                 )
@@ -513,6 +547,7 @@ class ReedSolomonCode(BlockCode):
                         tuple(sorted(positions)),
                         codeword=corrected,
                     )
+        _record_batch_outcomes(results, clean)
         return results
 
     def shortened(self, n: int, k: int) -> "ReedSolomonCode":
@@ -633,9 +668,11 @@ class SinglyExtendedRS(BlockCode):
         results: list[DecodeResult | None] = [None] * words.shape[0]
         case_b: list[int] = []
         a_candidates: list[tuple[int, np.ndarray, list[int]]] = []
+        clean = 0
         for i in range(words.shape[0]):
             ers = per_word_erasures[i]
             if not synds[i].any() and s0s[i] == 0 and not ers:
+                clean += 1
                 results[i] = DecodeResult(
                     DecodeStatus.OK,
                     words[i][: self.k].copy(),
@@ -717,6 +754,7 @@ class SinglyExtendedRS(BlockCode):
                     results[i] = DecodeResult(
                         DecodeStatus.OK, corrected[: self.k].copy(), codeword=full
                     )
+        _record_batch_outcomes(results, clean)
         return results
 
     def shortened(self, n: int, k: int) -> "SinglyExtendedRS":

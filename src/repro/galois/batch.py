@@ -17,11 +17,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import metrics as _obs
 from .gf2m import GF2m
 
 # Keyed by (field, n, r, fcr); GF2m hashes by (m, poly) so unpickled field
 # instances in worker processes still hit the same entries.
 _VANDERMONDE_CACHE: dict[tuple[GF2m, int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+# Observability handles, recorded per *batch call* (never per row) and only
+# behind the ``_obs.enabled()`` guard, so the disabled hot path pays one
+# global load and a branch.
+_C_CALLS = _obs.counter("galois.syndromes.calls")
+_C_ROWS = _obs.counter("galois.syndromes.rows")
+_C_CLEAN = _obs.counter("galois.syndromes.clean_rows")
+_C_SPARSE = _obs.counter("galois.syndromes.sparse_path_rows")
+_C_DENSE = _obs.counter("galois.syndromes.dense_path_rows")
 
 
 def syndrome_tables(field: GF2m, n: int, r: int, fcr: int) -> tuple[np.ndarray, np.ndarray]:
@@ -67,11 +77,17 @@ def batch_syndromes(
     nonzero = words != 0
     nnz_per_row = nonzero.sum(axis=1)
     dirty = np.flatnonzero(nnz_per_row)
+    if _obs.enabled():
+        _C_CALLS.add(1)
+        _C_ROWS.add(batch)
+        _C_CLEAN.add(batch - int(dirty.size))
     if dirty.size == 0:
         return out
     _, logv = syndrome_tables(field, n, r, fcr)
     nnz = int(nnz_per_row.sum())
     if nnz * 8 <= dirty.size * n:
+        if _obs.enabled():
+            _C_SPARSE.add(int(dirty.size))
         # Sparse rows (e.g. controlled error-injection words): work on the
         # nonzero entries only - O(nnz * r) instead of O(rows * n * r).
         rows, poss = np.nonzero(words)  # row-major, so `rows` is sorted
@@ -79,6 +95,8 @@ def batch_syndromes(
         starts = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
         out[rows[starts]] = np.bitwise_xor.reduceat(prod, starts, axis=0)
         return out
+    if _obs.enabled():
+        _C_DENSE.add(int(dirty.size))
     for start in range(0, dirty.size, chunk):
         rows = dirty[start : start + chunk]
         sub = words[rows]  # (c, n)

@@ -1,0 +1,108 @@
+"""repro.obs - lightweight, zero-dependency observability (DESIGN.md 6e).
+
+Three cooperating pieces, all off by default and all guaranteed never to
+perturb seeded results:
+
+* :mod:`~repro.obs.metrics` - a process-local registry of counters, gauges
+  and fixed-bucket histograms whose snapshots merge commutatively across
+  processes and runs;
+* :mod:`~repro.obs.trace` - span-based tracing with monotonic timing and
+  nesting, bounded retention;
+* :mod:`~repro.obs.profiler` - a periodic sampling profiler hook.
+
+Instrumentation sites across the hot layers (``galois.batch``, ``codes.rs``,
+``reliability.batch``, ``campaign.supervisor``, ``perf.timing_sim``) guard
+every record with :func:`enabled`, so a disabled build pays one global load
+per batch-level event.  Exports are crash-safe JSON-Lines files written
+through :mod:`repro.utils.atomic_io`; ``python -m repro obs report`` merges
+and renders them.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run an engine
+    obs.write_snapshots("obs.jsonl", [obs.snapshot("my-run"), obs.spans_snapshot()])
+"""
+
+from .export import format_report, read_snapshots, summarize, write_snapshots
+from .metrics import (
+    DURATION_BUCKETS_S,
+    RATE_BUCKETS,
+    REGISTRY,
+    SIZE_BUCKETS,
+    SNAPSHOT_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    absorb,
+    counter,
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    gauge,
+    histogram,
+    merge_snapshots,
+    reset,
+    snapshot,
+)
+from .profiler import SamplingProfiler, profile_scope
+from .trace import (
+    MAX_SPANS,
+    SpanRecord,
+    dropped_spans,
+    finished_spans,
+    record_span,
+    span,
+    span_dicts_snapshot,
+    spans_snapshot,
+)
+from .trace import reset as reset_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "REGISTRY",
+    "SNAPSHOT_VERSION",
+    "DURATION_BUCKETS_S",
+    "RATE_BUCKETS",
+    "SIZE_BUCKETS",
+    "MAX_SPANS",
+    "SamplingProfiler",
+    "SpanRecord",
+    "absorb",
+    "counter",
+    "disable",
+    "dropped_spans",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "finished_spans",
+    "format_report",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "profile_scope",
+    "read_snapshots",
+    "record_span",
+    "reset",
+    "reset_spans",
+    "reset_all",
+    "snapshot",
+    "span",
+    "span_dicts_snapshot",
+    "spans_snapshot",
+    "summarize",
+    "write_snapshots",
+]
+
+
+def reset_all() -> None:
+    """Reset metrics and spans together (fresh CLI run / test isolation)."""
+    reset()
+    reset_spans()

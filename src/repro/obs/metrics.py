@@ -1,0 +1,303 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (DESIGN.md section 6e):
+
+* **Off by default.**  The whole subsystem hides behind one module-level
+  boolean; instrumentation sites guard with ``if obs.enabled():`` so a
+  disabled build pays one global load and a branch per *batch-level* event
+  - nothing per trial, nothing per symbol.
+* **Never perturbs results.**  No metric ever reads random state, and no
+  engine ever reads a metric.  Timing flows strictly engine -> registry;
+  tallies are bit-identical with observability on or off (a dedicated test
+  locks this in).
+* **Mergeable snapshots.**  A snapshot is a plain-JSON dict; snapshots from
+  different processes (campaign workers, resumed runs) merge commutatively:
+  counters add, histogram bucket counts add element-wise, gauges keep the
+  last written value.  This mirrors how the campaign's tallies merge, so
+  per-chunk worker metrics fold into one campaign-wide view.
+
+Fixed-bucket histograms (rather than t-digest style sketches) keep the
+merge rule exact and the representation trivially JSON-safe; the default
+bucket ladders below cover the quantities the engines emit (durations,
+throughputs, batch sizes).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+#: snapshot format version; bumped on any shape change (golden-schema tests).
+SNAPSHOT_VERSION = 1
+
+#: power-of-ten ladder for durations in seconds (100 us .. 1000 s).
+DURATION_BUCKETS_S: tuple[float, ...] = tuple(
+    10.0**e for e in range(-4, 4)
+)
+
+#: ladder for throughputs in rows (trials) per second.
+RATE_BUCKETS: tuple[float, ...] = tuple(10.0**e for e in range(0, 8))
+
+#: powers of two for batch sizes / occupancy counts.
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(2**e) for e in range(0, 17))
+
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """Is observability collection on for this process?"""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn collection on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn collection off; already-recorded values stay in the registry."""
+    global _ENABLED
+    _ENABLED = False
+
+
+class _Scope:
+    """Context manager returned by :func:`enabled_scope`."""
+
+    def __init__(self, on: bool):
+        self._on = on
+        self._previous = _ENABLED
+
+    def __enter__(self) -> "_Scope":
+        self._previous = _ENABLED
+        (enable if self._on else disable)()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        (enable if self._previous else disable)()
+
+
+def enabled_scope(on: bool = True) -> _Scope:
+    """Temporarily force collection on (or off); restores the prior state."""
+    return _Scope(on)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins float metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact, commutative merges.
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything beyond the last edge.
+    Two histograms merge iff their bounds are identical - snapshots carry
+    the bounds so the merge can verify that.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty bounds")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.total += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+class Registry:
+    """One process's metric store; thread-safe, snapshot-able, absorbable."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- metric access (creates on first use) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        got = self._counters.get(name)
+        if got is None:
+            with self._lock:
+                got = self._counters.setdefault(name, Counter(name))
+        return got
+
+    def gauge(self, name: str) -> Gauge:
+        got = self._gauges.get(name)
+        if got is None:
+            with self._lock:
+                got = self._gauges.setdefault(name, Gauge(name))
+        return got
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        got = self._histograms.get(name)
+        if got is None:
+            with self._lock:
+                got = self._histograms.setdefault(name, Histogram(name, bounds))
+        return got
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every recorded value in place (tests and fresh CLI runs).
+
+        Instruments are zeroed rather than discarded: instrumentation sites
+        cache their handles at module import time, and those handles must
+        keep recording into this registry after a reset.
+        """
+        with self._lock:
+            for c in self._counters.values():
+                c.value = 0
+            for g in self._gauges.values():
+                g.value = 0.0
+            for h in self._histograms.values():
+                h.counts = [0] * (len(h.bounds) + 1)
+                h.total = 0
+                h.sum = 0.0
+                h.min = float("inf")
+                h.max = float("-inf")
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self, label: str = "") -> dict[str, Any]:
+        """JSON-safe, mergeable view of everything recorded so far.
+
+        Instruments that were registered but never recorded to (zero
+        counters, empty histograms) are omitted - every instrumented module
+        registers its handles at import time, and reporting them all would
+        bury the signal under unrelated subsystems' zeros.
+        """
+        with self._lock:
+            return {
+                "kind": "metrics",
+                "version": SNAPSHOT_VERSION,
+                "label": label,
+                "counters": {
+                    n: c.value for n, c in sorted(self._counters.items()) if c.value
+                },
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "total": h.total,
+                        "sum": h.sum,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                    for n, h in sorted(self._histograms.items())
+                    if h.total
+                },
+            }
+
+    def absorb(self, snap: dict[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).add(int(value))
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            hist = self.histogram(name, data["bounds"])
+            if list(hist.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bounds mismatch on absorb: "
+                    f"{list(hist.bounds)} vs {list(data['bounds'])}"
+                )
+            for i, count in enumerate(data["counts"]):
+                hist.counts[i] += int(count)
+            hist.total += int(data["total"])
+            hist.sum += float(data["sum"])
+            if data["total"]:
+                hist.min = min(hist.min, float(data["min"]))
+                hist.max = max(hist.max, float(data["max"]))
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]],
+                    label: str = "merged") -> dict[str, Any]:
+    """Merge metric snapshots commutatively (counters add, gauges last-wins)."""
+    registry = Registry()
+    for snap in snapshots:
+        if snap and snap.get("kind", "metrics") == "metrics":
+            registry.absorb(snap)
+    return registry.snapshot(label=label)
+
+
+#: the process-wide default registry every instrumentation site records to.
+REGISTRY = Registry()
+
+
+def counter(name: str) -> Counter:
+    """Counter handle in the default registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Gauge handle in the default registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[float]) -> Histogram:
+    """Histogram handle in the default registry."""
+    return REGISTRY.histogram(name, bounds)
+
+
+def reset() -> None:
+    """Reset the default registry (does not change the enabled flag)."""
+    REGISTRY.reset()
+
+
+def snapshot(label: str = "") -> dict[str, Any]:
+    """Snapshot the default registry."""
+    return REGISTRY.snapshot(label=label)
+
+
+def absorb(snap: dict[str, Any]) -> None:
+    """Absorb a snapshot into the default registry."""
+    REGISTRY.absorb(snap)

@@ -1,0 +1,133 @@
+"""Periodic sampling profiler: where does a long run actually spend time?
+
+A tiny wall-clock sampler in the spirit of py-spy, but in-process and
+zero-dependency: a daemon thread wakes every ``interval`` seconds, grabs the
+target thread's current frame via :func:`sys._current_frames` and charges one
+sample to every ``module:function`` on the stack (leaf samples tracked
+separately, so both flat and cumulative views come out of one table).
+
+Sampling is *observational only*: the profiled thread is never paused or
+signalled, no allocation happens on its side, and nothing the sampler reads
+can influence the engines - so seeded results stay bit-identical whether a
+profiler is attached or not.  The cost is the GIL time of the sampler thread
+itself; at the default 10 ms interval that is well under 1%.
+
+This is the "periodic sampling profiler hook" of DESIGN.md section 6e: the
+campaign CLI can attach one around a run, and tests attach it around a busy
+loop to assert the machinery works without asserting anything about timing.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any
+
+from . import metrics
+
+
+class SamplingProfiler:
+    """Sample one thread's stack periodically; aggregate by frame."""
+
+    def __init__(self, interval: float = 0.01, max_depth: int = 64):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_depth = max_depth
+        self.samples = 0
+        self.cumulative: dict[str, int] = {}
+        self.leaf: dict[str, int] = {}
+        self._target_id: int | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, target_thread: threading.Thread | None = None) -> "SamplingProfiler":
+        """Begin sampling (the calling thread by default); idempotent-safe."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._target_id = (
+            target_thread.ident if target_thread is not None
+            else threading.get_ident()
+        )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and join the sampler thread."""
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        frame = sys._current_frames().get(self._target_id)
+        if frame is None:
+            return
+        self.samples += 1
+        seen: set[str] = set()
+        depth = 0
+        leaf_key: str | None = None
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            key = f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}"
+            if leaf_key is None:
+                leaf_key = key
+            if key not in seen:  # recursion charges one cumulative sample
+                seen.add(key)
+                self.cumulative[key] = self.cumulative.get(key, 0) + 1
+            frame = frame.f_back
+            depth += 1
+        if leaf_key is not None:
+            self.leaf[leaf_key] = self.leaf.get(leaf_key, 0) + 1
+
+    # -- output ---------------------------------------------------------------
+
+    def snapshot(self, label: str = "", top: int = 40) -> dict[str, Any]:
+        """JSON-safe profile: top frames by leaf (self) and cumulative count."""
+        def ranked(table: dict[str, int]) -> dict[str, int]:
+            return dict(sorted(table.items(), key=lambda kv: -kv[1])[:top])
+
+        return {
+            "kind": "profile",
+            "version": metrics.SNAPSHOT_VERSION,
+            "label": label,
+            "interval_s": self.interval,
+            "samples": self.samples,
+            "self": ranked(self.leaf),
+            "cumulative": ranked(self.cumulative),
+        }
+
+
+def profile_scope(interval: float = 0.01) -> SamplingProfiler:
+    """Convenience: ``with profile_scope() as prof: ...; prof.snapshot()``."""
+    return SamplingProfiler(interval=interval)
+
+
+def busy_wait(seconds: float) -> int:
+    """Spin for ``seconds`` (test helper: gives the sampler work to see)."""
+    spins = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        spins += 1
+    return spins

@@ -1,0 +1,186 @@
+"""Span-based tracing: monotonic timing with nesting, bounded retention.
+
+A *span* is one timed region of work ("decode this chunk", "simulate this
+trace") with a name, a monotonic start, a duration and free-form JSON-safe
+attributes.  Spans nest through a thread-local stack, so a chunk span that
+internally runs a decode span records ``depth``/``parent`` links without any
+caller bookkeeping.
+
+The timing source is :func:`time.perf_counter` - monotonic, so spans are
+immune to wall-clock steps.  Durations never feed back into any engine
+(the REPRO103 discipline: engines call :func:`span`, never the clock), which
+is what keeps seeded results bit-identical with tracing on.
+
+Retention is bounded: completed spans land in a ring of
+:data:`MAX_SPANS`; overflow drops the oldest and counts the drop, so a
+million-chunk campaign cannot grow memory without bound while still
+reporting exactly how much was shed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from . import metrics
+
+#: completed spans kept in memory (oldest dropped beyond this).
+MAX_SPANS = 4096
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) timed region."""
+
+    name: str
+    start: float = 0.0  # perf_counter seconds (monotonic, process-relative)
+    duration: float = 0.0  # seconds; 0.0 while in flight
+    depth: int = 0
+    parent: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _TraceState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[SpanRecord] = []
+
+
+_STATE = _TraceState()
+_LOCK = threading.Lock()
+_FINISHED: deque[SpanRecord] = deque(maxlen=MAX_SPANS)
+_DROPPED = 0
+
+
+class _SpanContext:
+    """Context manager for one span; yields the record (or None if off)."""
+
+    __slots__ = ("_record",)
+
+    def __init__(self, record: SpanRecord | None):
+        self._record = record
+
+    def __enter__(self) -> SpanRecord | None:
+        record = self._record
+        if record is None:
+            return None
+        record.depth = len(_STATE.stack)
+        record.parent = _STATE.stack[-1].name if _STATE.stack else None
+        _STATE.stack.append(record)
+        record.start = time.perf_counter()
+        return record
+
+    def __exit__(self, *exc: object) -> None:
+        record = self._record
+        if record is None:
+            return
+        record.duration = time.perf_counter() - record.start
+        if _STATE.stack and _STATE.stack[-1] is record:
+            _STATE.stack.pop()
+        _store(record)
+
+
+def span(name: str, **attrs: Any) -> _SpanContext:
+    """Time a region of work; no-op (yields ``None``) when obs is disabled."""
+    if not metrics.enabled():
+        return _SpanContext(None)
+    return _SpanContext(SpanRecord(name=name, attrs=attrs))
+
+
+def record_span(name: str, duration: float, **attrs: Any) -> SpanRecord | None:
+    """Register an externally-timed span (e.g. the campaign supervisor's
+    chunk lifetime, measured against its own deadline clock).  Returns the
+    record, or ``None`` when obs is disabled."""
+    if not metrics.enabled():
+        return None
+    rec = SpanRecord(name=name, duration=float(duration), attrs=attrs)
+    _store(rec)
+    return rec
+
+
+def _store(record: SpanRecord) -> None:
+    global _DROPPED
+    with _LOCK:
+        if len(_FINISHED) == MAX_SPANS:
+            _DROPPED += 1
+        _FINISHED.append(record)
+
+
+def finished_spans() -> list[SpanRecord]:
+    """Completed spans, oldest first (bounded by :data:`MAX_SPANS`)."""
+    with _LOCK:
+        return list(_FINISHED)
+
+
+def dropped_spans() -> int:
+    """How many spans the bounded ring has shed so far."""
+    return _DROPPED
+
+
+def reset() -> None:
+    """Forget all finished spans and the drop count (tests, fresh CLI runs)."""
+    global _DROPPED
+    with _LOCK:
+        _FINISHED.clear()
+        _DROPPED = 0
+    _STATE.stack.clear()
+
+
+def _aggregate(span_dicts: list[dict[str, Any]]) -> dict[str, dict[str, float]]:
+    by_name: dict[str, dict[str, float]] = {}
+    for rec in span_dicts:
+        agg = by_name.setdefault(
+            rec["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        agg["count"] += 1
+        agg["total_s"] += rec["duration_s"]
+        agg["max_s"] = max(agg["max_s"], rec["duration_s"])
+    return {
+        name: {
+            "count": agg["count"],
+            "total_s": agg["total_s"],
+            "mean_s": agg["total_s"] / agg["count"] if agg["count"] else 0.0,
+            "max_s": agg["max_s"],
+        }
+        for name, agg in sorted(by_name.items())
+    }
+
+
+def spans_snapshot(label: str = "") -> dict[str, Any]:
+    """JSON-safe snapshot of the finished spans plus per-name aggregates."""
+    span_dicts = [rec.as_dict() for rec in finished_spans()]
+    return {
+        "kind": "spans",
+        "version": metrics.SNAPSHOT_VERSION,
+        "label": label,
+        "dropped": dropped_spans(),
+        "aggregates": _aggregate(span_dicts),
+        "spans": span_dicts,
+    }
+
+
+def span_dicts_snapshot(span_dicts: list[dict[str, Any]], label: str = "") -> dict[str, Any]:
+    """Snapshot-shaped view of externally stored span dicts (e.g. the
+    per-chunk spans a campaign manifest carries), so ``obs report`` can fold
+    them with live snapshots."""
+    span_dicts = list(span_dicts)
+    return {
+        "kind": "spans",
+        "version": metrics.SNAPSHOT_VERSION,
+        "label": label,
+        "dropped": 0,
+        "aggregates": _aggregate(span_dicts),
+        "spans": span_dicts,
+    }

@@ -22,8 +22,16 @@ from dataclasses import dataclass
 
 from ..dram.bank import AccessPlan, BankTimingModel
 from ..dram.timing import DDR5_4800, DramTiming, SchemeTimingOverlay
+from ..obs import metrics as _obs
+from ..obs import trace as _trace
 from .metrics import PerfResult, summarize
 from .trace import Request
+
+# Observability (DESIGN.md 6e): one span plus batch-level counters per
+# simulated trace - nothing is recorded per request.
+_C_REQUESTS = _obs.counter("perf.simulate.requests")
+_C_ROW_HITS = _obs.counter("perf.simulate.row_hits")
+_C_REFRESHES = _obs.counter("perf.simulate.refreshes")
 
 
 @dataclass
@@ -140,9 +148,19 @@ def simulate(
     """Run a trace under a scheme overlay and summarise the metrics."""
     config = config or ControllerConfig()
     controller = MemoryController(config, overlay)
-    served, makespan = controller.run([Request(**_clone(r)) for r in trace])
+    with _trace.span(
+        "perf.simulate",
+        scheme=scheme_name or overlay.name,
+        workload=workload_name,
+        requests=len(trace),
+    ):
+        served, makespan = controller.run([Request(**_clone(r)) for r in trace])
     hits = sum(b.row_hits for b in controller.banks)
     accesses = hits + sum(b.row_misses + b.row_conflicts for b in controller.banks)
+    if _obs.enabled():
+        _C_REQUESTS.add(len(served))
+        _C_ROW_HITS.add(hits)
+        _C_REFRESHES.add(controller.refreshes)
     return summarize(
         scheme_name or overlay.name,
         workload_name,

@@ -34,6 +34,8 @@ import numpy as np
 from ..errors import ChunkFailure
 from ..faults.rates import FaultRates
 from ..faults.types import FaultInstance, FaultType, TransferBurst
+from ..obs import metrics as _obs
+from ..obs import trace as _trace
 from ..schemes.base import EccScheme
 from .exact import ExactRunConfig, _make_chips, _plant_fault, _zero_line
 from .outcomes import Tally, classify
@@ -42,9 +44,28 @@ from .outcomes import Tally, classify
 #: live device/overlay count and the size of each decode batch.
 DEFAULT_CHUNK_TRIALS = 256
 
+# Observability (DESIGN.md 6e): batch occupancy (reads per dispatched
+# decode batch) and chunk throughput.  Timing comes from spans recorded in
+# :mod:`repro.obs.trace` - this module never reads a clock itself (REPRO103),
+# and none of these values can flow back into a tally.
+_H_OCCUPANCY = _obs.histogram("reliability.batch.occupancy_reads", _obs.SIZE_BUCKETS)
+_H_ROWS_PER_S = _obs.histogram("reliability.chunk.rows_per_s", _obs.RATE_BUCKETS)
+_C_CHUNKS = _obs.counter("reliability.chunks")
+
+
+def _observe_chunk(span: "_trace.SpanRecord | None", reads: int) -> None:
+    """Fold one finished chunk span into the throughput metrics."""
+    if span is None:
+        return
+    _C_CHUNKS.add(1)
+    if span.duration > 0:
+        _H_ROWS_PER_S.observe(reads / span.duration)
+
 
 def _tally_reads(scheme: EccScheme, reads: list) -> Tally:
     """Classify a batch of line reads against the all-zero line."""
+    if _obs.enabled():
+        _H_OCCUPANCY.observe(len(reads))
     expected = _zero_line(scheme)
     tally = Tally()
     for result in scheme.read_lines(reads):
@@ -124,11 +145,14 @@ def iid_epochs(
 
 def _iid_chunk(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
     """One dispatch unit: a run of (chip_seed, coords) fault-universe epochs."""
-    reads = []
-    for chip_seed, coords in epochs:
-        chips = _make_chips(scheme, rates, seed=chip_seed)
-        reads.extend((chips, bank, row, col, None) for bank, row, col in coords)
-    return _tally_reads(scheme, reads)
+    with _trace.span("reliability.iid_chunk", epochs=len(epochs)) as sp:
+        reads = []
+        for chip_seed, coords in epochs:
+            chips = _make_chips(scheme, rates, seed=chip_seed)
+            reads.extend((chips, bank, row, col, None) for bank, row, col in coords)
+        tally = _tally_reads(scheme, reads)
+    _observe_chunk(sp, len(reads))
+    return tally
 
 
 def iid_chunk_tally(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
@@ -241,7 +265,10 @@ def _single_fault_reads(
 def _single_fault_chunk(
     scheme: EccScheme, clean: FaultRates, seed: int, specs: list
 ) -> Tally:
-    return _tally_reads(scheme, _single_fault_reads(scheme, clean, seed, specs))
+    with _trace.span("reliability.single_fault_chunk", trials=len(specs)) as sp:
+        tally = _tally_reads(scheme, _single_fault_reads(scheme, clean, seed, specs))
+    _observe_chunk(sp, len(specs))
+    return tally
 
 
 def single_fault_chunk_tally(
@@ -302,18 +329,21 @@ def _burst_length_tally(
         pin_faults_per_device=0.0, mat_faults_per_device=0.0,
         transfer_burst_per_access=0.0,
     )
-    chips = _make_chips(scheme, clean, seed=config.seed)
-    reads = []
-    for _ in range(config.trials):
-        row = int(rng.integers(device.rows_per_bank))
-        col = int(rng.integers(device.columns_per_row))
-        burst = TransferBurst(
-            pin=int(rng.integers(device.pins)),
-            beat_start=int(rng.integers(device.burst_length - length_eff + 1)),
-            length=length_eff,
-        )
-        reads.append((chips, 0, row, col, {0: burst}))
-    return length, _tally_reads(scheme, reads)
+    with _trace.span("reliability.burst_chunk", length=length) as sp:
+        chips = _make_chips(scheme, clean, seed=config.seed)
+        reads = []
+        for _ in range(config.trials):
+            row = int(rng.integers(device.rows_per_bank))
+            col = int(rng.integers(device.columns_per_row))
+            burst = TransferBurst(
+                pin=int(rng.integers(device.pins)),
+                beat_start=int(rng.integers(device.burst_length - length_eff + 1)),
+                length=length_eff,
+            )
+            reads.append((chips, 0, row, col, {0: burst}))
+        tally = _tally_reads(scheme, reads)
+    _observe_chunk(sp, len(reads))
+    return length, tally
 
 
 def run_burst_lengths_batched(

@@ -27,6 +27,11 @@ from ..dram.config import RankConfig
 from ..dram.device import DramDevice, FaultOverlayProtocol
 from ..dram.timing import SchemeTimingOverlay
 from ..faults.types import TransferBurst
+from ..obs import metrics as _obs
+
+# Reads taken through the scalar fallback loop rather than a batched
+# override - a nonzero rate during a campaign means engine degradation fired.
+_C_SEQUENTIAL_READS = _obs.counter("schemes.sequential_reads")
 
 #: One batched read request: ``(chips, bank, row, col, bursts)`` - the same
 #: tuple :meth:`EccScheme.read_line` takes positionally.
@@ -148,6 +153,8 @@ class EccScheme(abc.ABC):
         so falling back never changes a tally - it only trades speed for
         robustness.
         """
+        if _obs.enabled():
+            _C_SEQUENTIAL_READS.add(len(reads))
         return EccScheme.read_lines(self, reads)
 
     @property

@@ -10,7 +10,6 @@ import pytest
 from repro.faults import FaultRates
 from repro.reliability import (
     ExactRunConfig,
-    build_model,
     run_iid,
     wilson_interval,
 )
@@ -27,9 +26,9 @@ def iid_rates(ber):
     )
 
 
-def agreement(scheme, ber, metric, seed=11):
+def agreement(get_model, scheme, ber, metric, seed=11):
     tally = run_iid(scheme, iid_rates(ber), ExactRunConfig(trials=TRIALS, seed=seed))
-    model = build_model(scheme, samples=300, seed=seed)
+    model = get_model(scheme, 300, seed=seed)
     predicted = model.line_probs(ber)[metric]
     observed = getattr(tally, metric)
     lo, hi = wilson_interval(observed, TRIALS)
@@ -37,26 +36,28 @@ def agreement(scheme, ber, metric, seed=11):
 
 
 class TestAgreement:
-    def test_no_ecc_sdc(self):
-        predicted, _, lo, hi = agreement(NoEcc(), 1.5e-3, "sdc")
+    def test_no_ecc_sdc(self, get_scheme, get_model):
+        predicted, _, lo, hi = agreement(get_model, get_scheme(NoEcc), 1.5e-3, "sdc")
         assert lo <= predicted <= hi
 
-    def test_conventional_sdc(self):
-        predicted, _, lo, hi = agreement(ConventionalIecc(), 4e-3, "sdc")
+    def test_conventional_sdc(self, get_scheme, get_model):
+        predicted, _, lo, hi = agreement(
+            get_model, get_scheme(ConventionalIecc), 4e-3, "sdc")
         assert lo <= predicted <= hi
 
-    def test_xed_sdc(self):
-        predicted, _, lo, hi = agreement(Xed(), 6e-3, "sdc")
+    def test_xed_sdc(self, get_scheme, get_model):
+        predicted, _, lo, hi = agreement(get_model, get_scheme(Xed), 6e-3, "sdc")
         assert lo <= predicted <= hi
 
-    def test_duo_due(self):
+    def test_duo_due(self, get_scheme, get_model):
         # Slightly widened band: at BER this high a few percent of symbol
         # errors are multi-bit, outside the tables' single-bit regime.
-        predicted, observed, lo, hi = agreement(Duo(), 1e-2, "due")
+        predicted, observed, lo, hi = agreement(
+            get_model, get_scheme(Duo), 1e-2, "due")
         assert lo - 0.02 <= predicted <= hi + 0.02
 
-    def test_pair_due(self):
-        predicted, _, lo, hi = agreement(PairScheme(), 4e-3, "due")
+    def test_pair_due(self, get_scheme, get_model):
+        predicted, _, lo, hi = agreement(get_model, get_scheme(PairScheme), 4e-3, "due")
         assert lo <= predicted <= hi
 
     def test_pair_correction_region_has_no_failures(self):

@@ -10,7 +10,6 @@ import pytest
 from repro.faults import FaultRates
 from repro.reliability import (
     ExactRunConfig,
-    build_model,
     run_fast,
     run_iid,
     wilson_interval,
@@ -31,12 +30,12 @@ def iid_rates(ber):
     [(PairScheme, 3e-3), (Duo, 1e-2)],
     ids=["pair", "duo"],
 )
-def test_three_engines_agree_on_due(scheme_factory, ber):
-    scheme = scheme_factory()
+def test_three_engines_agree_on_due(scheme_factory, ber, get_scheme, get_model):
+    scheme = get_scheme(scheme_factory)
     exact_trials = 300
     exact = run_iid(scheme, iid_rates(ber), ExactRunConfig(trials=exact_trials, seed=21))
     fast = run_fast(scheme, ber, trials=50_000, seed=21)
-    analytic = build_model(scheme, samples=300, seed=21).line_probs(ber)["due"]
+    analytic = get_model(scheme, 300, seed=21).line_probs(ber)["due"]
 
     lo, hi = wilson_interval(exact.due, exact_trials)
     # fast and analytic both sit inside (slightly widened) exact confidence

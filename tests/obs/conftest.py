@@ -1,0 +1,14 @@
+"""Every obs test starts from a disabled, empty registry and leaves it so."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset_all()
+    obs.disable()
+    yield
+    obs.reset_all()
+    obs.disable()

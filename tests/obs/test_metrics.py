@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry: instruments, snapshots, merges."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    Histogram,
+    Registry,
+    SNAPSHOT_VERSION,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = Registry()
+        c = reg.counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert reg.counter("x") is c
+
+    def test_gauge_last_wins(self):
+        reg = Registry()
+        g = reg.gauge("x")
+        g.set(1.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_histogram_buckets_values(self):
+        h = Histogram("h", [1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.total == 4
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_histogram_edge_is_inclusive(self):
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [10.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+
+class TestRegistryLifecycle:
+    def test_reset_zeroes_in_place(self):
+        """Handles cached before a reset must keep recording after it -
+        instrumentation modules register theirs once at import time."""
+        reg = Registry()
+        c = reg.counter("c")
+        h = reg.histogram("h", DURATION_BUCKETS_S)
+        c.add(3)
+        h.observe(0.1)
+        reg.reset()
+        assert c.value == 0 and h.total == 0
+        c.add(1)
+        h.observe(0.2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["histograms"]["h"]["total"] == 1
+
+    def test_snapshot_omits_idle_instruments(self):
+        reg = Registry()
+        reg.counter("never")
+        reg.histogram("empty", [1.0])
+        reg.counter("used").add(1)
+        snap = reg.snapshot("lbl")
+        assert snap["kind"] == "metrics"
+        assert snap["version"] == SNAPSHOT_VERSION
+        assert snap["label"] == "lbl"
+        assert snap["counters"] == {"used": 1}
+        assert snap["histograms"] == {}
+
+
+class TestMerge:
+    def make_snapshot(self, count, values):
+        reg = Registry()
+        reg.counter("c").add(count)
+        reg.gauge("g").set(count)
+        h = reg.histogram("h", [1.0, 10.0])
+        for v in values:
+            h.observe(v)
+        return reg.snapshot()
+
+    def test_merge_is_commutative(self):
+        a = self.make_snapshot(2, [0.5, 5.0])
+        b = self.make_snapshot(7, [50.0])
+        ab = merge_snapshots([a, b])
+        ba = merge_snapshots([b, a])
+        assert ab["counters"] == ba["counters"] == {"c": 9}
+        assert ab["histograms"] == ba["histograms"]
+        assert ab["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert ab["histograms"]["h"]["total"] == 3
+        assert ab["histograms"]["h"]["min"] == 0.5
+        assert ab["histograms"]["h"]["max"] == 50.0
+
+    def test_absorb_rejects_mismatched_bounds(self):
+        reg = Registry()
+        reg.histogram("h", [1.0]).observe(0.5)
+        bad = Registry()
+        bad.histogram("h", [2.0]).observe(0.5)
+        with pytest.raises(ValueError):
+            reg.absorb(bad.snapshot())
+
+    def test_merge_skips_non_metrics_snapshots(self):
+        a = self.make_snapshot(1, [])
+        merged = merge_snapshots([a, {"kind": "spans", "aggregates": {}}, {}])
+        assert merged["counters"] == {"c": 1}
+
+    def test_empty_histogram_does_not_poison_min_max(self):
+        reg = Registry()
+        reg.counter("c").add(1)
+        a = reg.snapshot()
+        b = self.make_snapshot(1, [5.0])
+        merged = merge_snapshots([a, b])
+        assert merged["histograms"]["h"]["min"] == 5.0

@@ -1,0 +1,85 @@
+"""Unit tests for span tracing: gating, nesting, retention, snapshots."""
+
+from repro import obs
+from repro.obs import trace
+
+
+class TestGating:
+    def test_span_is_noop_when_disabled(self):
+        with trace.span("work") as rec:
+            assert rec is None
+        assert trace.finished_spans() == []
+
+    def test_record_span_is_noop_when_disabled(self):
+        assert trace.record_span("work", 1.0) is None
+        assert trace.finished_spans() == []
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self):
+        obs.enable()
+        with trace.span("work", chunk=3) as rec:
+            assert rec is not None
+        spans = trace.finished_spans()
+        assert [s.name for s in spans] == ["work"]
+        assert spans[0].duration >= 0.0
+        assert spans[0].attrs == {"chunk": 3}
+
+    def test_nesting_sets_depth_and_parent(self):
+        obs.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        inner, outer = sorted(trace.finished_spans(), key=lambda s: s.name)
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == "outer"
+
+    def test_record_span_stores_external_duration(self):
+        obs.enable()
+        rec = trace.record_span("chunk", 2.5, attempt=1)
+        assert rec is not None
+        assert rec.as_dict()["duration_s"] == 2.5
+        assert trace.finished_spans() == [rec]
+
+
+class TestRetention:
+    def test_ring_bounds_memory_and_counts_drops(self):
+        obs.enable()
+        for i in range(trace.MAX_SPANS + 5):
+            trace.record_span("s", 0.0, i=i)
+        assert len(trace.finished_spans()) == trace.MAX_SPANS
+        assert trace.dropped_spans() == 5
+        # oldest were shed
+        assert trace.finished_spans()[0].attrs == {"i": 5}
+
+    def test_reset_clears_spans_and_drop_count(self):
+        obs.enable()
+        trace.record_span("s", 0.0)
+        trace.reset()
+        assert trace.finished_spans() == []
+        assert trace.dropped_spans() == 0
+
+
+class TestSnapshots:
+    def test_spans_snapshot_aggregates_by_name(self):
+        obs.enable()
+        trace.record_span("a", 1.0)
+        trace.record_span("a", 3.0)
+        trace.record_span("b", 2.0)
+        snap = trace.spans_snapshot("lbl")
+        assert snap["kind"] == "spans"
+        assert snap["label"] == "lbl"
+        assert len(snap["spans"]) == 3
+        assert snap["aggregates"]["a"] == {
+            "count": 2, "total_s": 4.0, "mean_s": 2.0, "max_s": 3.0,
+        }
+        assert snap["aggregates"]["b"]["count"] == 1
+
+    def test_span_dicts_snapshot_matches_live_shape(self):
+        obs.enable()
+        trace.record_span("a", 1.0)
+        live = trace.spans_snapshot()
+        rebuilt = trace.span_dicts_snapshot(live["spans"])
+        assert set(rebuilt) == set(live)
+        assert rebuilt["aggregates"] == live["aggregates"]
+        assert rebuilt["dropped"] == 0

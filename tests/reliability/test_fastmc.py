@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.reliability import build_model, run_fast, run_fast_duo, run_fast_pair
+from repro.reliability import run_fast, run_fast_duo, run_fast_pair
 from repro.schemes import Duo, NoEcc, PairScheme
 
 
@@ -17,22 +17,22 @@ class TestDispatch:
 
 
 class TestStatistics:
-    def test_pair_matches_analytic_at_high_ber(self):
-        scheme = PairScheme()
+    def test_pair_matches_analytic_at_high_ber(self, get_scheme, get_model):
+        scheme = get_scheme(PairScheme)
         ber = 2e-3
         trials = 60_000
         fast = run_fast_pair(scheme, ber, trials=trials, seed=3)
-        model = build_model(scheme, samples=400, seed=3)
+        model = get_model(scheme, 400, seed=3)
         predicted = model.line_probs(ber)["due"]
         measured = fast.due_rate
         assert measured == pytest.approx(predicted, rel=0.1)
 
-    def test_duo_matches_analytic_at_high_ber(self):
-        scheme = Duo()
+    def test_duo_matches_analytic_at_high_ber(self, get_scheme, get_model):
+        scheme = get_scheme(Duo)
         ber = 8e-3
         trials = 60_000
         fast = run_fast_duo(scheme, ber, trials=trials, seed=4)
-        model = build_model(scheme, samples=400, seed=4)
+        model = get_model(scheme, 400, seed=4)
         predicted = model.line_probs(ber)["due"]
         assert fast.due_rate == pytest.approx(predicted, rel=0.1)
 

@@ -1,0 +1,131 @@
+"""Golden-schema regression tests for the CLI's machine-readable outputs.
+
+``--json`` payloads are a contract: downstream tooling (CI dashboards,
+result scrapers) keys off exact field names.  These tests pin the key sets
+and value types of every JSON surface - ``report --json``,
+``campaign status --json``, and ``obs report --json`` - so a rename or a
+dropped field fails loudly here instead of silently breaking a consumer.
+
+Golden key sets are asserted with ``==`` (not ``<=``): adding a field is
+also a schema change and should be a conscious one (update the golden set
+and bump ``SNAPSHOT_VERSION`` where the obs payloads are involved).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import SNAPSHOT_VERSION
+
+CAMPAIGN_ARGS = ["--scheme", "pair", "--trials", "16", "--chunk-trials", "8",
+                 "--seed", "2", "--backoff", "0.01"]
+
+
+def run_json(capsys, argv):
+    main(argv)
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    # --json output must be exactly one parseable document, nothing else
+    assert out == json.dumps(payload, sort_keys=True) + "\n"
+    return payload
+
+
+class TestReportManifestSchema:
+    def test_golden_keys(self, capsys):
+        payload = run_json(capsys, ["report", "--json"])
+        assert set(payload) == {
+            "kind", "settings", "samples", "burst_trials", "trace_requests",
+            "schemes", "sections",
+        }
+        assert payload["kind"] == "report_manifest"
+        assert payload["settings"] == "quick"
+        assert payload["schemes"] == ["no-ecc", "iecc-sec", "xed", "duo", "pair"]
+        assert payload["sections"] == [
+            "configurations", "reliability", "performance", "bursts",
+            "overheads", "headroom",
+        ]
+        for field in ("samples", "burst_trials", "trace_requests"):
+            assert isinstance(payload[field], int) and payload[field] > 0
+
+    def test_full_flag_changes_settings_only(self, capsys):
+        quick = run_json(capsys, ["report", "--json"])
+        full = run_json(capsys, ["report", "--json", "--full"])
+        assert full["settings"] == "full"
+        assert set(full) == set(quick)
+        assert full["samples"] > quick["samples"]
+
+
+class TestCampaignStatusSchema:
+    @pytest.fixture(scope="class")
+    def campaign_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("campaign")
+        main(["campaign", "run", "--dir", str(path)] + CAMPAIGN_ARGS)
+        return path
+
+    def test_golden_keys(self, capsys, campaign_dir):
+        capsys.readouterr()
+        payload = run_json(
+            capsys, ["campaign", "status", "--dir", str(campaign_dir), "--json"]
+        )
+        assert set(payload) == {
+            "path", "fingerprint", "scheme", "kind", "total_chunks",
+            "chunks_done", "quarantined", "trials_done", "complete", "tally",
+        }
+        assert set(payload["tally"]) == {
+            "trials", "ok", "ce", "due", "sdc", "sdc_rate", "due_rate",
+        }
+        assert payload["scheme"] == "pair"
+        assert payload["kind"] == "iid"
+        assert payload["complete"] is True
+        assert payload["chunks_done"] == payload["total_chunks"] == 2
+        assert payload["trials_done"] == payload["tally"]["trials"] == 16
+        assert payload["quarantined"] == []
+        assert isinstance(payload["fingerprint"], str) and payload["fingerprint"]
+
+
+class TestObsReportSchema:
+    @pytest.fixture(scope="class")
+    def obs_campaign(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs-campaign")
+        export = path / "obs.jsonl"
+        main(["campaign", "run", "--dir", str(path), "--obs-out", str(export)]
+             + CAMPAIGN_ARGS)
+        return path, export
+
+    def assert_report_schema(self, payload):
+        assert set(payload) == {
+            "kind", "version", "snapshots", "counters", "gauges",
+            "histograms", "spans", "profile",
+        }
+        assert payload["kind"] == "obs_report"
+        assert payload["version"] == SNAPSHOT_VERSION
+        assert set(payload["spans"]) == {"dropped", "aggregates"}
+        for agg in payload["spans"]["aggregates"].values():
+            assert set(agg) == {"count", "total_s", "max_s", "mean_s"}
+        for hist in payload["histograms"].values():
+            assert set(hist) == {"bounds", "counts", "total", "sum", "min", "max"}
+            assert len(hist["counts"]) == len(hist["bounds"]) + 1
+
+    def test_from_jsonl_export(self, capsys, obs_campaign):
+        _, export = obs_campaign
+        capsys.readouterr()
+        payload = run_json(capsys, ["obs", "report", "--in", str(export), "--json"])
+        self.assert_report_schema(payload)
+        # the run must actually have recorded decoder activity
+        assert payload["counters"]["campaign.chunks_ok"] == 2
+        assert payload["counters"]["rs.decode.words"] > 0
+        assert "campaign.chunk" in payload["spans"]["aggregates"]
+
+    def test_from_campaign_directory(self, capsys, obs_campaign):
+        path, _ = obs_campaign
+        capsys.readouterr()
+        payload = run_json(capsys, ["obs", "report", "--in", str(path), "--json"])
+        self.assert_report_schema(payload)
+        # manifest-side view carries the per-chunk spans and merged metrics
+        assert payload["spans"]["aggregates"]["campaign.chunk"]["count"] == 2
+        assert payload["counters"]["reliability.chunks"] == 2
+
+    def test_missing_input_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "report", "--in", str(tmp_path / "nope.jsonl")])
