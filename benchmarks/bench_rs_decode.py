@@ -7,10 +7,14 @@ onward (CI uploads the ``--benchmark-json`` output as ``BENCH_rs_decode.json``):
 * scalar decode of a dirty word (key equation + Chien + Forney),
 * ``decode_batch`` throughput on a Monte-Carlo-shaped batch (mostly clean
   rows, a dirty minority),
+* the dense syndrome screen per kernel backend (numpy / bitsliced / numba
+  when installed) - the tracked number behind the bitsliced tier's >=3x
+  acceptance bar, recorded with a ``backend`` tag in ``extra_info``,
 * the F2 reliability sweep itself - the tentpole's headline wall-clock.
 
 Run with ``pytest benchmarks/bench_rs_decode.py --benchmark-only
---benchmark-json=BENCH_rs_decode.json``.
+--benchmark-json=BENCH_rs_decode.json``.  CI gates these numbers against
+the committed baseline via ``benchmarks/check_regression.py``.
 """
 
 import numpy as np
@@ -18,9 +22,11 @@ import pytest
 
 from repro.codes import SinglyExtendedRS
 from repro.galois import GF256
+from repro.galois.backends import BackendUnavailableError, backend_names, get_backend
 
 BATCH = 1024
 DIRTY_PER_BATCH = 32  # ~3% dirty rows, the Monte-Carlo regime
+SCREEN_BATCH = 4096  # dense regime: every row dirty (burst/beyond-bound studies)
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +71,43 @@ def test_decode_batch_throughput(benchmark, code, mc_batch):
     benchmark.extra_info["batch"] = BATCH
     benchmark.extra_info["dirty_rows"] = DIRTY_PER_BATCH
     benchmark.extra_info["words_per_second"] = BATCH / benchmark.stats["mean"]
+
+
+def _available_backends():
+    names = []
+    for name in backend_names():
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return names
+
+
+@pytest.fixture(scope="module")
+def screen_batch(code):
+    rng = np.random.default_rng(0x5C4EE)
+    return rng.integers(0, 256, size=(SCREEN_BATCH, code.inner.n), dtype=np.int64)
+
+
+@pytest.mark.parametrize("backend_name", _available_backends())
+def test_syndrome_screen_backend(benchmark, code, screen_batch, backend_name):
+    """Dense-batch syndrome screen, one benchmark entry per backend.
+
+    Every backend must be bit-identical to the numpy reference (asserted
+    here on the benchmarked inputs as a last line of defence behind the
+    equivalence suite); the recorded means feed the CI regression gate and
+    the bitsliced >=3x speedup check.
+    """
+    inner = code.inner
+    backend = get_backend(backend_name)
+    reference = get_backend("numpy").syndromes(GF256, screen_batch, inner.r, inner.fcr)
+    warm = backend.syndromes(GF256, screen_batch, inner.r, inner.fcr)  # builds tables
+    assert np.array_equal(warm, reference)
+    benchmark(backend.syndromes, GF256, screen_batch, inner.r, inner.fcr)
+    benchmark.extra_info["backend"] = backend_name
+    benchmark.extra_info["batch"] = SCREEN_BATCH
+    benchmark.extra_info["rows_per_second"] = SCREEN_BATCH / benchmark.stats["mean"]
 
 
 def test_f2_sweep_wall_clock(benchmark, report):

@@ -134,19 +134,25 @@ def build_plan(
 
 def execute_chunk(plan_kind: str, scheme: EccScheme, rates: FaultRates,
                   config: ExactRunConfig, spec: ChunkSpec,
-                  engine: str = ENGINE_BATCHED) -> Tally:
+                  engine: str = ENGINE_BATCHED,
+                  backend: str | None = None) -> Tally:
     """Run one chunk to a tally on the requested engine.
 
     ``engine=ENGINE_BATCHED`` takes the vectorized decode path (the normal
     case); ``ENGINE_SEQUENTIAL`` takes the scalar fallback
     (:meth:`~repro.schemes.base.EccScheme.read_lines_sequential`), which by
     the conformance contract yields the identical tally.
+
+    ``backend`` pins the GF kernel backend for the chunk (the supervisor
+    passes the parent process's active selection so workers inherit it).
+    Deliberately *not* part of the campaign fingerprint: backends are
+    bit-identical, so the choice cannot affect any tally.
     """
     if engine not in (ENGINE_BATCHED, ENGINE_SEQUENTIAL):
         raise ValueError(f"unknown engine {engine!r}")
     batched = engine == ENGINE_BATCHED
     if plan_kind == "iid":
         fn = iid_chunk_tally if batched else iid_chunk_tally_sequential
-        return fn(scheme, rates, spec.payload)
+        return fn(scheme, rates, spec.payload, backend)
     fn = single_fault_chunk_tally if batched else single_fault_chunk_tally_sequential
-    return fn(scheme, rates.with_ber(0.0), config.seed, spec.payload)
+    return fn(scheme, rates.with_ber(0.0), config.seed, spec.payload, backend)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands expose the library's engines without writing any code:
+Ten subcommands expose the library's engines without writing any code:
 
 * ``info``                    - scheme/code configuration table (T1);
 * ``reliability``             - analytic failure-probability sweep (F2);
@@ -12,7 +12,10 @@ Nine subcommands expose the library's engines without writing any code:
 * ``campaign``                - resilient long Monte-Carlo campaigns
   (``run`` / ``resume`` / ``status``) with checkpointing and retry;
 * ``obs``                     - observability: merge and render metric/span
-  exports (``report``), from an ``obs.jsonl`` or a campaign directory.
+  exports (``report``), from an ``obs.jsonl`` or a campaign directory;
+* ``backends``                - GF(2^m) kernel backend registry: which tiers
+  exist, which are available here, which one is active
+  (``REPRO_GF_BACKEND``).
 
 Commands that execute engines (``perf``, ``burst``, ``campaign run`` /
 ``resume``) accept ``--obs-out obs.jsonl`` to enable the observability layer
@@ -268,6 +271,24 @@ def cmd_campaign_status(args: argparse.Namespace) -> None:
           f"due={tally['due']} sdc={tally['sdc']}")
 
 
+def cmd_backends(args: argparse.Namespace) -> None:
+    from .galois.backends import backends_report
+
+    report = backends_report()
+    if args.json:
+        import json
+
+        print(json.dumps(report, sort_keys=True))
+        return
+    env = report["env_value"]
+    source = f"{report['env_var']}={env}" if env else f"default ({report['default']})"
+    print(f"GF(2^m) kernel backends - active: {report['active']} via {source}")
+    for row in report["backends"]:
+        marker = "*" if row["active"] else " "
+        status = "available" if row["available"] else f"unavailable ({row['reason']})"
+        print(f"  {marker} {row['name']:10s} {status}")
+
+
 def cmd_obs_report(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -404,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--json", action="store_true",
                           help="print the status dict as JSON")
     p_status.set_defaults(func=cmd_campaign_status)
+
+    p_back = sub.add_parser(
+        "backends", help="list GF(2^m) kernel backends and the active one"
+    )
+    p_back.add_argument("--json", action="store_true",
+                        help="print the registry state as JSON")
+    p_back.set_defaults(func=cmd_backends)
 
     p_obs = sub.add_parser(
         "obs", help="observability: merge and render metric/span exports"

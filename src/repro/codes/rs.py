@@ -38,6 +38,8 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..galois import poly
+from ..galois.backends import active_backend
+from ..galois.backends.numpy_backend import chien_tables
 from ..galois.batch import batch_syndromes, syndrome_tables
 from ..galois.gf2m import GF2m, MulRows
 from ..obs import metrics as _obs
@@ -131,34 +133,17 @@ def _peval(p: list[int], x: int, mt: MulRows) -> int:
     return acc
 
 
-# -- Chien-search tables, cached per (field, n) ------------------------------
+# -- Chien search ------------------------------------------------------------
 #
-# A Chien search evaluates the locator at every point ``alpha^-c`` for
-# ``c = 0..n-1``.  Both the point array and the log-domain power matrix
-# ``logm[j, c] = log(alpha^(-c*j))`` are cached so scalar decodes stop
-# rebuilding them per call; the evaluation itself is one fancy-indexed
-# exp-lookup over the locator's nonzero coefficients, XOR-reduced.
-
-_CHIEN_CACHE: dict[tuple[GF2m, int], dict[str, np.ndarray]] = {}
+# The point/log tables (cached per ``(field, n)``) and the search itself
+# moved into the kernel-backend layer (``repro.galois.backends``); this
+# module keeps the decode-path obs accounting and the public
+# ``chien_points`` helper.
 
 
 def chien_points(field: GF2m, n: int) -> np.ndarray:
     """Cached evaluation points ``alpha^-c`` for ``c = 0..n-1``."""
-    return _chien_tables(field, n, 1)["points"]
-
-
-def _chien_tables(field: GF2m, n: int, degree: int) -> dict[str, np.ndarray]:
-    key = (field, n)
-    entry = _CHIEN_CACHE.get(key)
-    need = degree + 1
-    if entry is None or entry["logm"].shape[0] < need:
-        rows = max(need, 2 * entry["logm"].shape[0] if entry else 8)
-        c = np.arange(n, dtype=np.int64)
-        j = np.arange(rows, dtype=np.int64)
-        logm = (-(j[:, None] * c[None, :])) % (field.order - 1)
-        entry = {"logm": logm, "points": field._exp[logm[1] if rows > 1 else logm[0]]}
-        _CHIEN_CACHE[key] = entry
-    return entry
+    return chien_tables(field, n, 1)["points"]
 
 
 def _chien_roots(field: GF2m, n: int, psi: list[int]) -> np.ndarray:
@@ -166,12 +151,7 @@ def _chien_roots(field: GF2m, n: int, psi: list[int]) -> np.ndarray:
     if _obs.enabled():
         _C_CHIEN_SEARCHES.add(1)
         _C_CHIEN_POINTS.add(n)
-    logm = _chien_tables(field, n, len(psi) - 1)["logm"]
-    log = field._log_list
-    nz = [j for j, cj in enumerate(psi) if cj]
-    logs = np.array([log[psi[j]] for j in nz], dtype=np.int64)
-    values = np.bitwise_xor.reduce(field._exp[logm[nz] + logs[:, None]], axis=0)
-    return np.flatnonzero(values == 0)
+    return active_backend().chien_roots(field, n, psi)
 
 
 def _solve_key_equation(

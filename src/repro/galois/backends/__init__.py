@@ -1,0 +1,224 @@
+"""Pluggable backend registry for the GF(2^m) batch kernels.
+
+Three tiers (DESIGN.md 6f):
+
+* ``numpy`` - the PR-1 log/antilog table kernel; always available, the
+  bit-identity reference, and the **default** (its sparse ``reduceat``
+  path still wins the sparse/small-batch regimes campaigns mostly live in);
+* ``bitsliced`` - XOR-plane arithmetic, one uint64 word = 64 trial lanes;
+  the dense-batch tier (~7-14x on dense syndrome screens);
+* ``numba`` - jitted variant of the bitsliced scan, auto-detected at
+  import and registered as *unavailable with a reason* when numba is
+  missing, so selecting it degrades gracefully.
+
+Selection, in priority order:
+
+1. explicit API: :func:`set_backend` / the :func:`use_backend` context
+   manager (strict - unknown or unavailable names raise);
+2. the ``REPRO_GF_BACKEND`` environment variable, read lazily on first
+   use (lenient - a bad value warns and falls back to numpy, so a
+   campaign launched with ``REPRO_GF_BACKEND=numba`` on a host without
+   numba still runs to completion);
+3. the numpy default.
+
+Backend choice is a *performance* knob only: every tier is bit-identical
+(enforced by ``tests/galois/test_backends.py``), so it deliberately does
+not enter campaign fingerprints.  The campaign supervisor captures the
+active name at construction and pins it in each worker via
+:func:`use_backend`, so workers inherit the parent's choice under both
+fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from .base import KernelBackend, clear_vandermonde_cache, syndrome_tables
+from .bitsliced import BitslicedBackend
+from .numba_backend import NUMBA_AVAILABLE, NUMBA_UNAVAILABLE_REASON, NumbaBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "NumpyBackend",
+    "BitslicedBackend",
+    "NumbaBackend",
+    "active_backend",
+    "backend_names",
+    "backends_report",
+    "clear_backend_caches",
+    "clear_vandermonde_cache",
+    "get_backend",
+    "reset_selection",
+    "set_backend",
+    "syndrome_tables",
+    "use_backend",
+]
+
+#: environment variable consulted (lazily) when no explicit selection is set.
+ENV_VAR = "REPRO_GF_BACKEND"
+
+#: the always-available reference tier.
+DEFAULT_BACKEND = "numpy"
+
+#: sentinel names that mean "use the environment/default resolution".
+_AUTO = (None, "", "auto")
+
+
+class BackendUnavailableError(RuntimeError):
+    """A known backend cannot run here (e.g. numba is not installed)."""
+
+
+# Process-wide singletons, in presentation order.  ``_MISSING`` carries the
+# human-readable reason a known tier is absent (shown by `repro backends`).
+_REGISTRY: dict[str, KernelBackend] = {}
+_MISSING: dict[str, str] = {}
+
+# The explicit selection, if any.  ``None`` means "resolve from the
+# environment on next use" - kept unresolved so tests (and forked workers)
+# that mutate ``REPRO_GF_BACKEND`` + call :func:`reset_selection` see the
+# new value.
+_ACTIVE: KernelBackend | None = None
+
+
+def register(backend: KernelBackend) -> None:
+    """Add a backend singleton to the registry (last registration wins)."""
+    _REGISTRY[backend.name] = backend
+    _MISSING.pop(backend.name, None)
+
+
+def register_missing(name: str, reason: str) -> None:
+    """Record a known-but-unavailable tier with the reason it is absent."""
+    if name not in _REGISTRY:
+        _MISSING[name] = reason
+
+
+def backend_names() -> list[str]:
+    """All known backend names, available first, registration order."""
+    return [*_REGISTRY, *_MISSING]
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend by name; raise if unknown or unavailable here."""
+    got = _REGISTRY.get(name)
+    if got is not None:
+        return got
+    if name in _MISSING:
+        raise BackendUnavailableError(
+            f"GF backend {name!r} is unavailable: {_MISSING[name]}"
+        )
+    known = ", ".join(sorted(backend_names()))
+    raise ValueError(f"unknown GF backend {name!r} (known: {known})")
+
+
+def _resolve(name: str | None, *, strict: bool) -> KernelBackend:
+    if name in _AUTO:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+        if name in _AUTO:
+            name = DEFAULT_BACKEND
+    try:
+        return get_backend(name)
+    except (ValueError, BackendUnavailableError) as exc:
+        if strict:
+            raise
+        warnings.warn(
+            f"{exc}; falling back to the {DEFAULT_BACKEND!r} backend",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _REGISTRY[DEFAULT_BACKEND]
+
+
+def active_backend() -> KernelBackend:
+    """The backend the kernels route through right now.
+
+    Resolves the ``REPRO_GF_BACKEND`` environment variable lazily (and
+    leniently) when no explicit selection is in force.
+    """
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _resolve(None, strict=False)
+    return _ACTIVE
+
+
+def set_backend(name: str | None) -> KernelBackend:
+    """Explicitly select a backend process-wide; strict on bad names.
+
+    ``None`` (or ``"auto"``) clears the explicit selection and returns to
+    environment/default resolution.
+    """
+    global _ACTIVE
+    if name in _AUTO:
+        _ACTIVE = None
+        return active_backend()
+    _ACTIVE = _resolve(name, strict=True)
+    return _ACTIVE
+
+
+def reset_selection() -> None:
+    """Forget any selection; next use re-reads ``REPRO_GF_BACKEND``."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def use_backend(name: str | None, *, strict: bool = True) -> Iterator[KernelBackend]:
+    """Scoped backend selection (``None`` is a no-op passthrough).
+
+    ``strict=False`` is the worker-inheritance mode: an unknown or
+    unavailable name warns and falls back to the default instead of
+    killing the worker (the result is bit-identical either way).
+    """
+    global _ACTIVE
+    if name in _AUTO:
+        yield active_backend()
+        return
+    prev = _ACTIVE
+    _ACTIVE = _resolve(name, strict=strict)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prev
+
+
+def backends_report() -> dict[str, object]:
+    """Machine-readable registry state (the `repro backends --json` payload)."""
+    active = active_backend().name
+    rows: list[dict[str, object]] = []
+    for name in backend_names():
+        backend = _REGISTRY.get(name)
+        if backend is not None:
+            row = backend.describe()
+        else:
+            row = {"name": name, "available": False, "reason": _MISSING[name]}
+        row["active"] = name == active
+        rows.append(row)
+    return {
+        "kind": "gf_backends",
+        "default": DEFAULT_BACKEND,
+        "env_var": ENV_VAR,
+        "env_value": os.environ.get(ENV_VAR),
+        "active": active,
+        "backends": rows,
+    }
+
+
+def clear_backend_caches() -> None:
+    """Drop every backend-held table plus the shared Vandermonde cache."""
+    for backend in _REGISTRY.values():
+        backend.clear_cache()
+    clear_vandermonde_cache()
+
+
+register(NumpyBackend())
+register(BitslicedBackend())
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    register(NumbaBackend())
+else:
+    register_missing("numba", NUMBA_UNAVAILABLE_REASON or "numba is not installed")

@@ -1,0 +1,68 @@
+"""Numba-jitted tier of the bitsliced kernel (optional dependency).
+
+The vectorised numpy plane kernel materialises the full
+``(r, n, m, W)`` AND product per input bit before XOR-reducing it; the
+jitted tier walks the sparse plane tensor instead - for every set flag
+``bits[i, pos, j, o]`` it streams ``acc[j, o, :] ^= lanes[i, pos, :]`` -
+touching only the ~50% of entries that are set and never allocating the
+broadcast intermediate.  XOR is exact and commutative, so the different
+summation order is still bit-identical to every other tier.
+
+``numba`` is detected at import; when it is missing this module still
+imports cleanly and the registry records the backend as unavailable with a
+reason (surfaced by ``python -m repro backends``), so campaigns that ask
+for it via ``REPRO_GF_BACKEND=numba`` degrade to the numpy tier with a
+warning instead of crashing mid-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitsliced import BitslicedBackend, PlaneTables
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover - the only branch on this image
+    numba = None
+
+NUMBA_AVAILABLE = numba is not None
+NUMBA_UNAVAILABLE_REASON = (
+    None if NUMBA_AVAILABLE else "numba is not installed (pip install 'repro[numba]')"
+)
+
+def _accumulate_jit(bits: np.ndarray, lanes: np.ndarray, acc: np.ndarray) -> None:
+    m_in, n, r, m_out = bits.shape
+    w = lanes.shape[2]
+    for i in range(m_in):
+        for pos in range(n):
+            lane_row = lanes[i, pos]
+            flags = bits[i, pos]
+            for j in range(r):
+                for o in range(m_out):
+                    if flags[j, o]:
+                        row = acc[j, o]
+                        for k in range(w):
+                            row[k] ^= lane_row[k]
+
+
+if numba is not None:  # pragma: no cover - exercised only where numba is installed
+    _accumulate_jit = numba.njit(cache=False)(_accumulate_jit)
+
+
+class NumbaBackend(BitslicedBackend):
+    """Jitted XOR-plane tier; registered only when numba imports.
+
+    Shares the plane cache layout, lane packing and Chien screen with the
+    bitsliced tier - only the accumulate loop differs.  The first call per
+    process pays the JIT compile; campaign workers amortise it across their
+    whole chunk stream.
+    """
+
+    name = "numba"
+
+    def _accumulate(self, tables: PlaneTables, lanes: np.ndarray) -> np.ndarray:
+        bits = tables["bits"]  # (m_in, n, r, m_out) uint8 flags
+        acc = np.zeros((bits.shape[2], bits.shape[3], lanes.shape[2]), dtype=np.uint64)
+        _accumulate_jit(bits, lanes, acc)
+        return acc

@@ -9,50 +9,25 @@ minority - into one log-domain matrix multiply over the whole batch:
 
 where ``C`` is the ``(batch, n)`` received-word matrix and ``V`` the
 ``(r, n)`` Vandermonde matrix of generator-root powers.  ``V`` (and its log
-table) is cached per ``(field, n, r, fcr)``; products are computed as
-``exp[log C + log V]`` with zero masking, XOR-reduced along the symbol axis.
+table) is cached per ``(field, n, r, fcr)``.
+
+As of the backend-registry PR this module is a *routing facade*: input
+validation and degenerate-shape handling live here, the arithmetic itself
+lives in :mod:`repro.galois.backends` and runs on whichever tier is active
+(``numpy`` log tables by default, ``bitsliced``/``numba`` XOR planes via
+``REPRO_GF_BACKEND`` or :func:`repro.galois.backends.set_backend`).  Every
+tier is bit-identical, so callers cannot observe the choice except in speed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..obs import metrics as _obs
+from . import backends as _backends
+from .backends import active_backend, clear_backend_caches, syndrome_tables
 from .gf2m import GF2m
 
-# Keyed by (field, n, r, fcr); GF2m hashes by (m, poly) so unpickled field
-# instances in worker processes still hit the same entries.
-_VANDERMONDE_CACHE: dict[tuple[GF2m, int, int, int], tuple[np.ndarray, np.ndarray]] = {}
-
-# Observability handles, recorded per *batch call* (never per row) and only
-# behind the ``_obs.enabled()`` guard, so the disabled hot path pays one
-# global load and a branch.
-_C_CALLS = _obs.counter("galois.syndromes.calls")
-_C_ROWS = _obs.counter("galois.syndromes.rows")
-_C_CLEAN = _obs.counter("galois.syndromes.clean_rows")
-_C_SPARSE = _obs.counter("galois.syndromes.sparse_path_rows")
-_C_DENSE = _obs.counter("galois.syndromes.dense_path_rows")
-
-
-def syndrome_tables(field: GF2m, n: int, r: int, fcr: int) -> tuple[np.ndarray, np.ndarray]:
-    """Cached ``(V, logV)`` Vandermonde tables for syndrome computation.
-
-    ``V[j, pos] = alpha^((fcr + j) * coeff)`` with ``coeff = n - 1 - pos``
-    (codeword position ``pos`` holds polynomial coefficient ``n - 1 - pos``),
-    so ``S_j = XOR_pos mul(word[pos], V[j, pos])``.  ``logV`` holds the
-    discrete logs, precomputed for the log-domain batch multiply.
-    """
-    key = (field, n, r, fcr)
-    cached = _VANDERMONDE_CACHE.get(key)
-    if cached is None:
-        coeff = np.arange(n - 1, -1, -1, dtype=np.int64)
-        exps = ((fcr + np.arange(r, dtype=np.int64)[:, None]) * coeff[None, :]) % (
-            field.order - 1
-        )
-        v = field._exp[exps]
-        cached = (v, exps)  # log(alpha^e) = e for e in [0, order-1)
-        _VANDERMONDE_CACHE[key] = cached
-    return cached
+__all__ = ["batch_syndromes", "syndrome_tables", "clear_cache"]
 
 
 def batch_syndromes(
@@ -65,50 +40,27 @@ def batch_syndromes(
     skipped outright (their syndromes are zero by linearity) - in the
     Monte-Carlo engines that is the common case, so the multiply only runs
     over the nonzero minority, ``chunk`` rows at a time to bound the
-    ``(chunk, r, n)`` intermediate.
+    per-chunk intermediates.  Dispatches to the active kernel backend.
     """
     words = np.asarray(words, dtype=np.int64)
     if words.ndim != 2:
         raise ValueError(f"expected (batch, n) matrix, got {words.shape}")
     batch, n = words.shape
-    out = np.zeros((batch, r), dtype=np.int64)
     if r == 0 or n == 0:
-        return out
-    nonzero = words != 0
-    nnz_per_row = nonzero.sum(axis=1)
-    dirty = np.flatnonzero(nnz_per_row)
-    if _obs.enabled():
-        _C_CALLS.add(1)
-        _C_ROWS.add(batch)
-        _C_CLEAN.add(batch - int(dirty.size))
-    if dirty.size == 0:
-        return out
-    _, logv = syndrome_tables(field, n, r, fcr)
-    nnz = int(nnz_per_row.sum())
-    if nnz * 8 <= dirty.size * n:
-        if _obs.enabled():
-            _C_SPARSE.add(int(dirty.size))
-        # Sparse rows (e.g. controlled error-injection words): work on the
-        # nonzero entries only - O(nnz * r) instead of O(rows * n * r).
-        rows, poss = np.nonzero(words)  # row-major, so `rows` is sorted
-        prod = field._exp[field._log[words[rows, poss]][:, None] + logv[:, poss].T]
-        starts = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
-        out[rows[starts]] = np.bitwise_xor.reduceat(prod, starts, axis=0)
-        return out
-    if _obs.enabled():
-        _C_DENSE.add(int(dirty.size))
-    for start in range(0, dirty.size, chunk):
-        rows = dirty[start : start + chunk]
-        sub = words[rows]  # (c, n)
-        logw = field._log[sub]  # (c, n); log[0] = -1 sentinel
-        # exp is laid out so any index in [-1, 2*(order-1)) is safe to read;
-        # products at zero symbols are masked out before the reduction.
-        prod = field._exp[logw[:, None, :] + logv[None, :, :]]
-        prod[np.broadcast_to((sub == 0)[:, None, :], prod.shape)] = 0
-        out[rows] = np.bitwise_xor.reduce(prod, axis=2)
-    return out
+        return np.zeros((batch, r), dtype=np.int64)
+    return active_backend().syndromes(field, words, r, fcr, chunk)
 
 
 def clear_cache() -> None:
-    """Drop cached Vandermonde tables (tests use this)."""
-    _VANDERMONDE_CACHE.clear()
+    """Drop every cached kernel table: Vandermonde, Chien, backend planes.
+
+    Fans out to each registered backend's :meth:`KernelBackend.clear_cache`
+    so tests and long campaigns cannot hold stale per-field state (e.g.
+    bitsliced multiplication planes) across field rebuilds.
+    """
+    clear_backend_caches()
+
+
+# Back-compat alias: the pre-registry cache lived in this module; tests and
+# downstream code may still introspect it via the backends package.
+_VANDERMONDE_CACHE = _backends.base._VANDERMONDE_CACHE

@@ -34,6 +34,7 @@ import numpy as np
 from ..errors import ChunkFailure
 from ..faults.rates import FaultRates
 from ..faults.types import FaultInstance, FaultType, TransferBurst
+from ..galois.backends import active_backend, use_backend
 from ..obs import metrics as _obs
 from ..obs import trace as _trace
 from ..schemes.base import EccScheme
@@ -143,9 +144,19 @@ def iid_epochs(
     ]
 
 
-def _iid_chunk(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
-    """One dispatch unit: a run of (chip_seed, coords) fault-universe epochs."""
-    with _trace.span("reliability.iid_chunk", epochs=len(epochs)) as sp:
+def _iid_chunk(
+    scheme: EccScheme, rates: FaultRates, epochs: list, backend: str | None = None
+) -> Tally:
+    """One dispatch unit: a run of (chip_seed, coords) fault-universe epochs.
+
+    ``backend`` pins the GF kernel backend for the duration of the chunk
+    (``None`` keeps the process's own selection).  Lenient resolution: an
+    unavailable backend in a worker process degrades to the default with a
+    warning - the tally is bit-identical either way.
+    """
+    with use_backend(backend, strict=False), _trace.span(
+        "reliability.iid_chunk", epochs=len(epochs)
+    ) as sp:
         reads = []
         for chip_seed, coords in epochs:
             chips = _make_chips(scheme, rates, seed=chip_seed)
@@ -155,13 +166,15 @@ def _iid_chunk(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
     return tally
 
 
-def iid_chunk_tally(scheme: EccScheme, rates: FaultRates, epochs: list) -> Tally:
+def iid_chunk_tally(
+    scheme: EccScheme, rates: FaultRates, epochs: list, backend: str | None = None
+) -> Tally:
     """Public alias of the i.i.d. chunk executor (campaign worker entry)."""
-    return _iid_chunk(scheme, rates, epochs)
+    return _iid_chunk(scheme, rates, epochs, backend)
 
 
 def iid_chunk_tally_sequential(
-    scheme: EccScheme, rates: FaultRates, epochs: list
+    scheme: EccScheme, rates: FaultRates, epochs: list, backend: str | None = None
 ) -> Tally:
     """Scalar-engine twin of :func:`iid_chunk_tally`.
 
@@ -173,11 +186,12 @@ def iid_chunk_tally_sequential(
     """
     expected = _zero_line(scheme)
     tally = Tally()
-    for chip_seed, coords in epochs:
-        chips = _make_chips(scheme, rates, seed=chip_seed)
-        reads = [(chips, bank, row, col, None) for bank, row, col in coords]
-        for result in scheme.read_lines_sequential(reads):
-            tally.add(classify(result, expected))
+    with use_backend(backend, strict=False):
+        for chip_seed, coords in epochs:
+            chips = _make_chips(scheme, rates, seed=chip_seed)
+            reads = [(chips, bank, row, col, None) for bank, row, col in coords]
+            for result in scheme.read_lines_sequential(reads):
+                tally.add(classify(result, expected))
     return tally
 
 
@@ -187,6 +201,7 @@ def run_iid_batched(
     config: ExactRunConfig,
     workers: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    backend: str | None = None,
 ) -> Tally:
     """Batched :func:`repro.reliability.exact.run_iid`; identical tally.
 
@@ -200,9 +215,10 @@ def run_iid_batched(
     every = max(1, config.resample_faults_every)
     per_chunk = max(1, chunk_trials // every)
     chunks = [epochs[i : i + per_chunk] for i in range(0, len(epochs), per_chunk)]
+    backend = backend or active_backend().name
     return _merge_dispatch(
         _iid_chunk,
-        [(scheme, rates, chunk) for chunk in chunks],
+        [(scheme, rates, chunk, backend) for chunk in chunks],
         workers,
         labels=[
             f"iid chunk {i} (chip_seed={chunk[0][0]})" for i, chunk in enumerate(chunks)
@@ -263,31 +279,37 @@ def _single_fault_reads(
 
 
 def _single_fault_chunk(
-    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list,
+    backend: str | None = None,
 ) -> Tally:
-    with _trace.span("reliability.single_fault_chunk", trials=len(specs)) as sp:
+    with use_backend(backend, strict=False), _trace.span(
+        "reliability.single_fault_chunk", trials=len(specs)
+    ) as sp:
         tally = _tally_reads(scheme, _single_fault_reads(scheme, clean, seed, specs))
     _observe_chunk(sp, len(specs))
     return tally
 
 
 def single_fault_chunk_tally(
-    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list,
+    backend: str | None = None,
 ) -> Tally:
     """Public alias of the single-fault chunk executor (campaign worker entry)."""
-    return _single_fault_chunk(scheme, clean, seed, specs)
+    return _single_fault_chunk(scheme, clean, seed, specs, backend)
 
 
 def single_fault_chunk_tally_sequential(
-    scheme: EccScheme, clean: FaultRates, seed: int, specs: list
+    scheme: EccScheme, clean: FaultRates, seed: int, specs: list,
+    backend: str | None = None,
 ) -> Tally:
     """Scalar-engine twin of :func:`single_fault_chunk_tally` (fallback path)."""
     expected = _zero_line(scheme)
     tally = Tally()
-    for result in scheme.read_lines_sequential(
-        _single_fault_reads(scheme, clean, seed, specs)
-    ):
-        tally.add(classify(result, expected))
+    with use_backend(backend, strict=False):
+        for result in scheme.read_lines_sequential(
+            _single_fault_reads(scheme, clean, seed, specs)
+        ):
+            tally.add(classify(result, expected))
     return tally
 
 
@@ -298,14 +320,16 @@ def run_single_fault_batched(
     config: ExactRunConfig,
     workers: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    backend: str | None = None,
 ) -> Tally:
     """Batched :func:`repro.reliability.exact.run_single_fault`; identical tally."""
     specs = _sample_single_fault_trials(scheme, kind, rates, config)
     clean = rates.with_ber(0.0)
     chunks = [specs[i : i + chunk_trials] for i in range(0, len(specs), chunk_trials)]
+    backend = backend or active_backend().name
     return _merge_dispatch(
         _single_fault_chunk,
-        [(scheme, clean, config.seed, chunk) for chunk in chunks],
+        [(scheme, clean, config.seed, chunk, backend) for chunk in chunks],
         workers,
         labels=[
             f"single-fault[{kind.value}] chunk {i} (first_trial={chunk[0][0]}, "
@@ -319,7 +343,8 @@ def run_single_fault_batched(
 
 
 def _burst_length_tally(
-    scheme: EccScheme, length: int, config: ExactRunConfig
+    scheme: EccScheme, length: int, config: ExactRunConfig,
+    backend: str | None = None,
 ) -> tuple[int, Tally]:
     device = scheme.rank.device
     rng = np.random.default_rng([config.seed, 0xB0057, length])
@@ -329,7 +354,9 @@ def _burst_length_tally(
         pin_faults_per_device=0.0, mat_faults_per_device=0.0,
         transfer_burst_per_access=0.0,
     )
-    with _trace.span("reliability.burst_chunk", length=length) as sp:
+    with use_backend(backend, strict=False), _trace.span(
+        "reliability.burst_chunk", length=length
+    ) as sp:
         chips = _make_chips(scheme, clean, seed=config.seed)
         reads = []
         for _ in range(config.trials):
@@ -351,20 +378,23 @@ def run_burst_lengths_batched(
     lengths: list[int],
     config: ExactRunConfig,
     workers: int = 1,
+    backend: str | None = None,
 ) -> dict[int, Tally]:
     """Batched :func:`repro.reliability.exact.run_burst_lengths`; identical tallies.
 
     Each burst length is an independent run with its own generator stream,
     so lengths are the parallelism unit.
     """
+    backend = backend or active_backend().name
     if workers <= 1 or len(lengths) <= 1:
         return {
-            length: _burst_length_tally(scheme, length, config)[1] for length in lengths
+            length: _burst_length_tally(scheme, length, config, backend)[1]
+            for length in lengths
         }
     out: dict[int, Tally] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_burst_length_tally, scheme, length, config)
+            pool.submit(_burst_length_tally, scheme, length, config, backend)
             for length in lengths
         ]
         for length, future in zip(lengths, futures):

@@ -137,8 +137,14 @@ def evaluate_system(
     samples: int = 300,
     seed: int = 0,
     workers: int = 1,
+    backend: str | None = None,
 ) -> SystemReliability:
-    """Expected SDC/DUE events per device-year under the composite model."""
+    """Expected SDC/DUE events per device-year under the composite model.
+
+    ``backend`` selects the GF kernel backend for the decode engine
+    (``None`` inherits the active selection, e.g. ``REPRO_GF_BACKEND``);
+    it is a throughput knob only - results are bit-identical across tiers.
+    """
     profile = profile or AccessProfile()
     reads_per_year = profile.reads_per_device_year
 
@@ -165,7 +171,9 @@ def evaluate_system(
             sdc[kind.value] = due[kind.value] = 0.0
             p_sdc[kind.value] = p_due[kind.value] = 0.0
             continue
-        tally: Tally = run_single_fault_batched(scheme, kind, rates, config, workers=workers)
+        tally: Tally = run_single_fault_batched(
+            scheme, kind, rates, config, workers=workers, backend=backend
+        )
         hit = _footprint_hit_probability(kind, scheme, rates)
         reads_hitting = hit * reads_per_year
         sev_sdc = tally.sdc / tally.total
