@@ -1,0 +1,115 @@
+"""Fingerprint-keyed baseline: adopt the checkers without a flag day.
+
+A new whole-program rule family lands on a codebase with history; blocking
+CI on every pre-existing finding would force either a big-bang fix-up or
+blanket suppression.  The baseline is the ratchet instead: known findings
+are recorded by *fingerprint* in ``.repro-checkers-baseline.json``, runs
+subtract them, and ``--update-baseline`` rewrites the file from the
+current findings - so fixed entries are pruned automatically and the file
+only ever shrinks (new findings still fail the gate; they are not added
+unless a human reruns ``--update-baseline`` and commits the diff).
+
+Fingerprints hash the rule code, the file path, the message and the
+*stripped source line text* - not the line number - so unrelated edits that
+shift a file do not invalidate the baseline, while any change to the
+flagged line itself retires the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Violation
+
+#: default baseline location, repo-root relative.
+DEFAULT_BASELINE = ".repro-checkers-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def violation_fingerprint(violation: Violation, source_line: str = "") -> str:
+    """Stable identity of one finding across line-number drift."""
+    payload = "\x1f".join(
+        (violation.code, violation.path, violation.message, source_line.strip())
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _source_line(violation: Violation, line_cache: dict[str, list[str]]) -> str:
+    lines = line_cache.get(violation.path)
+    if lines is None:
+        try:
+            text = Path(violation.path).read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        lines = text.splitlines()
+        line_cache[violation.path] = lines
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1]
+    return ""
+
+
+@dataclass
+class Baseline:
+    """The recorded set of known findings, keyed by fingerprint."""
+
+    path: Path
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        p = Path(path)
+        try:
+            raw = json.loads(p.read_text(encoding="utf-8"))
+        except OSError:
+            return cls(path=p)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline file {p} is not valid JSON: {exc}") from exc
+        entries = raw.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline file {p} has no 'findings' object")
+        return cls(path=p, entries=dict(entries))
+
+    def split(
+        self, violations: Sequence[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """``(new, suppressed)`` partition of a run's findings."""
+        cache: dict[str, list[str]] = {}
+        new: list[Violation] = []
+        suppressed: list[Violation] = []
+        for violation in violations:
+            fp = violation_fingerprint(violation, _source_line(violation, cache))
+            (suppressed if fp in self.entries else new).append(violation)
+        return new, suppressed
+
+    def rewrite(self, violations: Sequence[Violation]) -> int:
+        """Replace the baseline with the current findings; returns the count.
+
+        This is the ratchet step: entries for findings that no longer fire
+        are pruned because the file is rebuilt from scratch.
+        """
+        from ..utils.atomic_io import atomic_write_json
+
+        cache: dict[str, list[str]] = {}
+        entries: dict[str, dict[str, object]] = {}
+        for violation in violations:
+            line_text = _source_line(violation, cache)
+            fp = violation_fingerprint(violation, line_text)
+            entries[fp] = {
+                "code": violation.code,
+                "path": violation.path,
+                "message": violation.message,
+                "line": violation.line,  # informational; not part of the key
+            }
+        self.entries = entries
+        atomic_write_json(
+            self.path,
+            {"version": BASELINE_VERSION, "findings": entries},
+            sort_keys=True,
+        )
+        return len(entries)

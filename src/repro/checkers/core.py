@@ -22,8 +22,10 @@ Every rule has
 from __future__ import annotations
 
 import ast
+import io
 import re
 import sys
+import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
@@ -131,24 +133,37 @@ class Checker:
         return True
 
 
+def _record_noqa(noqa: dict[int, set[str]], lineno: int, comment: str) -> None:
+    m = _NOQA_RE.search(comment)
+    if not m:
+        return
+    codes = m.group("codes")
+    if codes is None:
+        noqa.setdefault(lineno, set()).add(ALL_CODES)
+    else:
+        for code in codes.split(","):
+            noqa.setdefault(lineno, set()).add(code.strip())
+
+
 def parse_noqa(text: str) -> dict[int, set[str]]:
     """Per-line suppression map from ``# repro: noqa`` comments.
 
-    Implemented over raw source lines rather than the tokenizer so that it
-    also works on files with minor tokenization quirks; the pattern is
-    strict enough that prose mentions (no leading ``#``) never match.
+    Suppressions are gated on *real comment tokens* (via :mod:`tokenize`),
+    so the marker text inside a string literal - e.g. the fixture corpus
+    embedding ``"# repro: noqa"`` in test sources - never waives anything.
+    When tokenization fails (files with syntax errors still get checked for
+    REPRO100) the raw-line regex scan is the fallback.
     """
     noqa: dict[int, set[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if not m:
-            continue
-        codes = m.group("codes")
-        if codes is None:
-            noqa.setdefault(lineno, set()).add(ALL_CODES)
-        else:
-            for code in codes.split(","):
-                noqa.setdefault(lineno, set()).add(code.strip())
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                _record_noqa(noqa, token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        noqa.clear()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            _record_noqa(noqa, lineno, line)
     return noqa
 
 
@@ -218,13 +233,28 @@ def check_source(
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    """Yield every ``.py`` file under the given files/directories, sorted."""
+    """Yield every ``.py`` file under the given files/directories, sorted.
+
+    Overlapping inputs (``src src/repro``, a directory plus a file inside
+    it, the same path twice) are deduplicated on the resolved filesystem
+    path, so each file is checked and reported exactly once - under the
+    spelling it was first reached through.
+    """
+    seen: set[Path] = set()
     for entry in paths:
         p = Path(entry)
         if p.is_dir():
-            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+            candidates: Iterable[Path] = sorted(q for q in p.rglob("*.py") if q.is_file())
         elif p.suffix == ".py":
-            yield p
+            candidates = [p]
+        else:
+            continue
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
 
 
 def check_paths(

@@ -83,6 +83,19 @@ _DATETIME_FUNCS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
 _CLOCKLESS_DOMAINS = frozenset({"reliability", "faults", "schemes"})
 
 
+def _seed_is_absent_or_none(node: ast.Call) -> bool:
+    """No seed argument, or an explicit ``None`` seed (both unseeded)."""
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in node.keywords:
+        if kw.arg == "seed":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        if kw.arg is None:  # **kwargs: cannot prove either way
+            return False
+    return True
+
+
 def _attr_chain(node: ast.expr) -> tuple[str, ...]:
     """``np.random.default_rng`` -> ("np", "random", "default_rng")."""
     parts: list[str] = []
@@ -119,13 +132,15 @@ class DeterminismChecker(Checker):
     ) -> Iterator[Violation]:
         root, tail = chain[0], chain[-1]
 
-        # REPRO101: default_rng with no arguments (bare or via np.random).
+        # REPRO101: default_rng without a seed (bare or via np.random).  An
+        # explicit ``None`` - positional or ``seed=None`` - is equally
+        # unseeded: numpy falls back to OS entropy either way.
         is_default_rng = (
             tail == "default_rng"
             and (len(chain) == 1 and "default_rng" in imports.from_np_random)
             or (len(chain) >= 2 and chain[-2:] == ("random", "default_rng"))
         )
-        if is_default_rng and not node.args and not node.keywords:
+        if is_default_rng and _seed_is_absent_or_none(node):
             yield self._violation(
                 UNSEEDED_RNG, node, ctx, "np.random.default_rng() called without a seed"
             )

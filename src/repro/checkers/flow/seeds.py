@@ -1,0 +1,219 @@
+"""Seed-provenance rules (REPRO20x).
+
+The reproduction's bit-identity contract (scalar == batched == parallel ==
+resumed) holds only if every Generator is *reachable from an explicit
+seed*: a literal, a threaded ``seed``/``rng`` parameter, or a
+``SeedSequence.spawn`` child.  The per-file REPRO101 lint catches the
+obvious ``default_rng()`` call; this family catches the cross-scope and
+cross-function leaks it cannot see:
+
+* REPRO201 - a Generator object from a parent scope is shipped into a
+  worker (``ProcessPoolExecutor.submit``/``map``, ``Pool.apply*``,
+  ``Process(target=..., args=...)``), either as an argument or captured by
+  a closure.  Workers must receive a seed or a spawned ``SeedSequence``
+  child by value and construct their own Generator - shipping the object
+  forks its state, so two workers draw identical streams.
+* REPRO202 - a call site passes a Generator of *unseeded* provenance into
+  a project function that draws from the corresponding ``rng`` parameter.
+  The callee's draws are then unreproducible no matter how disciplined the
+  callee is; the seed must be threaded in from the caller.
+* REPRO203 - a Generator created at module scope inside ``src/repro``.
+  Module-global RNG state is shared by every engine and inherited by every
+  fork; draws interleave differently under batching and parallelism, which
+  is exactly the failure mode the engines' explicit-seed design rules out.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..core import Rule, Violation
+from .dataflow import (
+    NOT_RNG,
+    RNG_UNSEEDED,
+    FlowChecker,
+    Scope,
+    build_scope,
+    classify_rng,
+    draws_from_params,
+    iter_dispatch_sites,
+    iter_function_scopes,
+)
+from .project import ModuleInfo, Project
+from .symbols import Resolver
+
+RNG_TO_WORKER = Rule(
+    code="REPRO201",
+    name="rng-shipped-to-worker",
+    summary="a parent-scope Generator must not be captured into a process-pool worker",
+    hint="ship a seed or SeedSequence.spawn child and build the Generator in the worker",
+    rationale=(
+        "a pickled/forked Generator duplicates its state into every worker, "
+        "so parallel chunks draw identical streams and tallies silently skew"
+    ),
+)
+
+UNSEEDED_INTO_DRAWER = Rule(
+    code="REPRO202",
+    name="unseeded-rng-threaded",
+    summary="callers must thread a seeded source into functions that draw from an rng parameter",
+    hint="derive the argument from an explicit seed or SeedSequence.spawn",
+    rationale=(
+        "an unseeded Generator threaded into a drawing function makes the "
+        "callee's tallies unreproducible however disciplined the callee is"
+    ),
+)
+
+MODULE_RNG = Rule(
+    code="REPRO203",
+    name="module-scope-rng",
+    summary="no Generator created at module scope inside src/repro",
+    hint="construct Generators inside functions from threaded seeds",
+    rationale=(
+        "module-global RNG state is shared across engines and inherited by "
+        "forked workers; draw interleaving then depends on execution order"
+    ),
+)
+
+
+def _violation(rule: Rule, module: ModuleInfo, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        rule=rule,
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+class SeedProvenanceChecker(FlowChecker):
+    rules = (RNG_TO_WORKER, UNSEEDED_INTO_DRAWER, MODULE_RNG)
+
+    def check_project(self, project: Project, resolver: Resolver) -> Iterator[Violation]:
+        summaries = _drawing_functions(project)
+        for module in project.modules.values():
+            yield from self._check_module_scope_rngs(module, resolver)
+            for _name, scope in iter_function_scopes(module):
+                yield from self._check_worker_captures(scope, module, resolver)
+                yield from self._check_call_sites(scope, module, resolver, summaries)
+
+    # -- REPRO203 --------------------------------------------------------------
+
+    def _check_module_scope_rngs(
+        self, module: ModuleInfo, resolver: Resolver
+    ) -> Iterator[Violation]:
+        if not module.in_project:
+            return
+        for name, values in module.module_assigns.items():
+            for value in values:
+                if classify_rng(value, None, module, resolver) != NOT_RNG:
+                    yield _violation(
+                        MODULE_RNG, module, value,
+                        f"module-level Generator {name!r} is shared global RNG state",
+                    )
+
+    # -- REPRO201 --------------------------------------------------------------
+
+    def _check_worker_captures(
+        self, scope: Scope, module: ModuleInfo, resolver: Resolver
+    ) -> Iterator[Violation]:
+        for site in iter_dispatch_sites(scope, module, resolver):
+            for expr in site.shipped:
+                kind = classify_rng(expr, scope, module, resolver)
+                if kind != NOT_RNG:
+                    label = expr.id if isinstance(expr, ast.Name) else "a Generator"
+                    yield _violation(
+                        RNG_TO_WORKER, module, expr,
+                        f"{label!r} ({kind} Generator) is shipped into a worker "
+                        "process; pass a seed/SeedSequence child instead",
+                    )
+            yield from self._check_closure_target(site.target, scope, module, resolver)
+
+    def _check_closure_target(
+        self,
+        target: ast.expr | None,
+        scope: Scope,
+        module: ModuleInfo,
+        resolver: Resolver,
+    ) -> Iterator[Violation]:
+        """Flag worker callables that *capture* an RNG from enclosing scope."""
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            fn: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef = target
+        elif isinstance(target, ast.Name) and target.id in scope.nested:
+            fn = scope.nested[target.id]
+        else:
+            return
+        inner = build_scope(fn, module, parent=scope)
+        for sub in ast.walk(fn):
+            if not (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)):
+                continue
+            name = sub.id
+            if name in inner.params or name in inner.bindings:
+                continue  # bound locally inside the worker callable
+            if classify_rng(sub, scope, module, resolver) != NOT_RNG:
+                yield _violation(
+                    RNG_TO_WORKER, module, sub,
+                    f"worker callable captures Generator {name!r} from its "
+                    "enclosing scope; thread a seed through the call instead",
+                )
+
+    # -- REPRO202 --------------------------------------------------------------
+
+    def _check_call_sites(
+        self,
+        scope: Scope,
+        module: ModuleInfo,
+        resolver: Resolver,
+        summaries: dict[str, set[str]],
+    ) -> Iterator[Violation]:
+        for sub in ast.walk(scope.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            resolved = resolver.resolve_call(module, sub)
+            if resolved is None:
+                continue
+            drawn = summaries.get(resolved.qualname)
+            if not drawn:
+                continue
+            for param, arg in _bind_arguments(resolved.node, sub).items():
+                if param not in drawn:
+                    continue
+                if classify_rng(arg, scope, module, resolver) == RNG_UNSEEDED:
+                    yield _violation(
+                        UNSEEDED_INTO_DRAWER, module, arg,
+                        f"unseeded Generator passed as {param!r} to "
+                        f"{resolved.local_name}(), which draws from it",
+                    )
+
+
+def _drawing_functions(project: Project) -> dict[str, set[str]]:
+    """qualname -> rng parameters the function draws from (its summary)."""
+    out: dict[str, set[str]] = {}
+    for module in project.modules.values():
+        if not module.in_project:
+            continue
+        for local_name, node in module.functions.items():
+            drawn = draws_from_params(node)
+            if drawn:
+                out[f"{module.name}:{local_name}"] = drawn
+    return out
+
+
+def _bind_arguments(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, call: ast.Call
+) -> dict[str, ast.expr]:
+    """Map a call's argument expressions onto the callee's parameter names."""
+    params = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
+    # drop self/cls for methods: a call through an attribute binds it implicitly
+    if params and params[0] in ("self", "cls") and isinstance(call.func, ast.Attribute):
+        params = params[1:]
+    bound: dict[str, ast.expr] = {}
+    for param, arg in zip(params, call.args):
+        bound[param] = arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            bound[kw.arg] = kw.value
+    return bound

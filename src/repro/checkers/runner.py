@@ -1,0 +1,110 @@
+"""Combined checker run: per-file REPRO1xx + project-wide REPRO2xx.
+
+This is the engine behind ``python -m repro check``.  One invocation walks
+the requested paths once, runs the per-file rule families over each file,
+loads the same file set into a flow :class:`~repro.checkers.flow.project.Project`
+for the dataflow tier, subtracts the fingerprint baseline, and returns a
+single :class:`CheckResult` the CLI renders as text, JSON or SARIF.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .core import (
+    SYNTAX_RULE,
+    Rule,
+    Violation,
+    all_rules,
+    check_source,
+    iter_python_files,
+)
+from .flow import all_flow_rules, run_flow_checks
+
+
+def full_catalogue() -> list[Rule]:
+    """Every rule across both tiers (REPRO1xx + REPRO2xx), sorted by code."""
+    return sorted([*all_rules(), SYNTAX_RULE, *all_flow_rules()], key=lambda r: r.code)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one combined run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: findings subtracted because the baseline already records them.
+    baseline_suppressed: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "baseline_suppressed": len(self.baseline_suppressed),
+            "violations": [
+                {
+                    "code": v.code,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                    "hint": v.rule.hint,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def run_checks(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> CheckResult:
+    """Run both checker tiers over ``paths``.
+
+    The file walk happens once; the per-file tier checks each file as it is
+    read and the full list then feeds the flow tier, so both tiers see an
+    identical, deduplicated file set.  With a ``baseline``, recorded
+    findings are moved to :attr:`CheckResult.baseline_suppressed` instead of
+    failing the run.
+    """
+    result = CheckResult()
+    files: list[Path] = list(iter_python_files(paths))
+    result.files_checked = len(files)
+
+    violations: list[Violation] = []
+    for file in files:
+        rel = file.as_posix()
+        try:
+            text = file.read_text(encoding="utf-8")
+            violations.extend(check_source(text, rel, select=select, ignore=ignore))
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    rule=SYNTAX_RULE,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+
+    violations.extend(run_flow_checks(files, select=select, ignore=ignore))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+
+    if baseline is not None and baseline.entries:
+        new, suppressed = baseline.split(violations)
+        result.violations = new
+        result.baseline_suppressed = suppressed
+    else:
+        result.violations = violations
+    return result

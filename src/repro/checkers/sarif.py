@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 export for checker findings.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca CI
+platforms ingest for code-scanning annotations.  The export is one ``run``
+by the ``repro-checkers`` driver: the full rule catalogue (REPRO1xx +
+REPRO2xx) under ``tool.driver.rules`` and one ``result`` per violation,
+linked by ``ruleId``/``ruleIndex`` with a physical location.  The CI lint
+job uploads the file as an artifact so findings stay inspectable after the
+gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from .core import Rule, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-checkers"
+TOOL_URI = "https://github.com/repro/pair-reproduction"
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    descriptor: dict[str, object] = {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "help": {"text": f"fix: {rule.hint}"},
+        "defaultConfiguration": {"level": "error"},
+    }
+    if rule.rationale:
+        descriptor["fullDescription"] = {"text": rule.rationale}
+    return descriptor
+
+
+def _result(violation: Violation, rule_index: dict[str, int]) -> dict[str, object]:
+    return {
+        "ruleId": violation.code,
+        "ruleIndex": rule_index[violation.code],
+        "level": "error",
+        "message": {"text": f"{violation.message}  [fix: {violation.rule.hint}]"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {
+                        "startLine": violation.line,
+                        # SARIF columns are 1-based; violations carry 0-based
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> dict[str, object]:
+    """The SARIF 2.1.0 log document for one checker run.
+
+    ``rules`` is the full catalogue (every rule appears in the driver
+    metadata whether or not it fired); any violation whose rule is somehow
+    absent is appended so ``ruleIndex`` stays valid.
+    """
+    catalogue = list(rules)
+    known = {rule.code for rule in catalogue}
+    for violation in violations:
+        if violation.code not in known:
+            catalogue.append(violation.rule)
+            known.add(violation.code)
+    rule_index = {rule.code: i for i, rule in enumerate(catalogue)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [_rule_descriptor(rule) for rule in catalogue],
+                    }
+                },
+                "results": [_result(v, rule_index) for v in violations],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str | Path, violations: Sequence[Violation], rules: Sequence[Rule]
+) -> Path:
+    """Serialize the run to ``path`` (crash-safe via the atomic writer)."""
+    from ..utils.atomic_io import atomic_write_text
+
+    out = Path(path)
+    document = to_sarif(violations, rules)
+    atomic_write_text(out, json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten subcommands expose the library's engines without writing any code:
+Eleven subcommands expose the library's engines without writing any code:
 
 * ``info``                    - scheme/code configuration table (T1);
 * ``reliability``             - analytic failure-probability sweep (F2);
@@ -15,7 +15,11 @@ Ten subcommands expose the library's engines without writing any code:
   exports (``report``), from an ``obs.jsonl`` or a campaign directory;
 * ``backends``                - GF(2^m) kernel backend registry: which tiers
   exist, which are available here, which one is active
-  (``REPRO_GF_BACKEND``).
+  (``REPRO_GF_BACKEND``);
+* ``check``                   - static invariant checks: per-file REPRO1xx
+  rules plus the project-wide REPRO2xx dataflow tier, with a fingerprint
+  baseline (``--baseline`` / ``--update-baseline``) and SARIF 2.1.0 export
+  (``--sarif``).
 
 Commands that execute engines (``perf``, ``burst``, ``campaign run`` /
 ``resume``) accept ``--obs-out obs.jsonl`` to enable the observability layer
@@ -289,6 +293,46 @@ def cmd_backends(args: argparse.Namespace) -> None:
         print(f"  {marker} {row['name']:10s} {status}")
 
 
+def cmd_check(args: argparse.Namespace) -> None:
+    from .checkers import (
+        Baseline,
+        full_catalogue,
+        report,
+        run_checks,
+        write_sarif,
+    )
+
+    baseline = Baseline.load(args.baseline)
+    result = run_checks(
+        args.paths,
+        select=args.select,
+        ignore=args.ignore,
+        baseline=None if args.update_baseline else baseline,
+    )
+    if args.update_baseline:
+        count = baseline.rewrite(result.violations)
+        print(f"baseline rewritten: {count} finding(s) recorded in {baseline.path}")
+        return
+    if args.sarif:
+        path = write_sarif(args.sarif, result.violations, full_catalogue())
+        print(f"SARIF export written to {path}")
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json(), sort_keys=True))
+    else:
+        report(result.violations)
+        if result.baseline_suppressed:
+            print(
+                f"{len(result.baseline_suppressed)} baselined finding(s) "
+                f"suppressed (see {baseline.path})"
+            )
+        if result.ok:
+            print(f"{result.files_checked} file(s) checked: clean")
+    if not result.ok:
+        raise SystemExit(1)
+
+
 def cmd_obs_report(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -432,6 +476,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_back.add_argument("--json", action="store_true",
                         help="print the registry state as JSON")
     p_back.set_defaults(func=cmd_backends)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static invariant checks (REPRO1xx per-file + REPRO2xx dataflow)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    p_check.add_argument("--select", action="append", metavar="PREFIX",
+                         help="only report codes starting with PREFIX "
+                              "(repeatable, e.g. REPRO20)")
+    p_check.add_argument("--ignore", action="append", metavar="PREFIX",
+                         help="drop codes starting with PREFIX (repeatable)")
+    p_check.add_argument("--sarif", metavar="OUT", default=None,
+                         help="also write a SARIF 2.1.0 log to OUT")
+    p_check.add_argument("--baseline", metavar="PATH",
+                         default=".repro-checkers-baseline.json",
+                         help="fingerprint baseline of known findings "
+                              "(default: %(default)s)")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline from the current findings "
+                              "(prunes fixed entries) instead of failing")
+    p_check.add_argument("--json", action="store_true",
+                         help="print the run result as JSON")
+    p_check.set_defaults(func=cmd_check)
 
     p_obs = sub.add_parser(
         "obs", help="observability: merge and render metric/span exports"

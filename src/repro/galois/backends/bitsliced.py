@@ -40,7 +40,11 @@ import numpy as np
 
 from ..gf2m import GF2m
 from .base import record_syndrome_call, syndrome_tables
-from .numpy_backend import NumpyBackend
+# Audited lateral import: the bitsliced tier deliberately delegates its
+# Chien screen to the numpy tier (same results, no plane transposition);
+# the delegation is part of the tier's documented contract, not substrate
+# that could move into base.
+from .numpy_backend import NumpyBackend  # repro: noqa-REPRO231
 
 #: lane-splatted all-ones mask (the uint64 "true" of the plane algebra).
 _ALL_LANES = np.uint64(0xFFFFFFFFFFFFFFFF)

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from .bitsliced import BitslicedBackend, PlaneTables
+# Audited lateral import: the numba tier *is* the bitsliced tier with the
+# accumulation loop JIT-compiled - it subclasses BitslicedBackend and
+# shares its plane tables, so the dependency is inherent, not substrate.
+from .bitsliced import BitslicedBackend, PlaneTables  # repro: noqa-REPRO231
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba
@@ -43,7 +46,11 @@ def _accumulate_jit(bits: np.ndarray, lanes: np.ndarray, acc: np.ndarray) -> Non
                     if flags[j, o]:
                         row = acc[j, o]
                         for k in range(w):
-                            row[k] ^= lane_row[k]
+                            # ``acc`` is the dedicated output buffer the
+                            # caller allocates fresh per call (np.zeros in
+                            # _accumulate); writing into it is the kernel's
+                            # contract, not input mutation.
+                            row[k] ^= lane_row[k]  # repro: noqa-REPRO233
 
 
 if numba is not None:  # pragma: no cover - exercised only where numba is installed

@@ -1,0 +1,165 @@
+"""Combined-run machinery: baseline ratchet, SARIF export, the runner."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkers import (
+    Baseline,
+    Rule,
+    Violation,
+    full_catalogue,
+    run_checks,
+    to_sarif,
+    violation_fingerprint,
+    write_sarif,
+)
+
+DIRTY = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def _write_dirty(tmp_path: Path) -> Path:
+    bad = tmp_path / "dirty.py"
+    bad.write_text(DIRTY)
+    return bad
+
+
+class TestRunner:
+    def test_combined_run_covers_both_tiers(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        mod = tmp_path / "repro" / "globals_mod.py"
+        mod.write_text("import numpy as np\nRNG = np.random.default_rng(42)\n")
+        result = run_checks([tmp_path])
+        codes = {v.code for v in result.violations}
+        assert codes == {"REPRO203"}  # flow tier fired on a disk file set
+        assert result.files_checked == 1
+        assert not result.ok
+
+    def test_clean_run(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        result = run_checks([tmp_path])
+        assert result.ok and result.violations == []
+        assert result.files_checked == 1
+
+    def test_overlapping_paths_report_each_file_once(self, tmp_path):
+        bad = _write_dirty(tmp_path)
+        result = run_checks([tmp_path, bad, str(tmp_path)])
+        assert result.files_checked == 1
+        assert [v.code for v in result.violations] == ["REPRO101"]
+
+    def test_full_catalogue_spans_both_tiers(self):
+        codes = [r.code for r in full_catalogue()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        assert "REPRO100" in codes and "REPRO101" in codes
+        assert "REPRO201" in codes and "REPRO233" in codes
+
+
+class TestBaselineRatchet:
+    def test_round_trip(self, tmp_path):
+        _write_dirty(tmp_path)
+        bl_path = tmp_path / "baseline.json"
+
+        # 1. fresh run fails
+        first = run_checks([tmp_path], baseline=Baseline.load(bl_path))
+        assert not first.ok
+
+        # 2. record the findings
+        baseline = Baseline.load(bl_path)
+        assert baseline.rewrite(first.violations) == 1
+
+        # 3. same findings are now suppressed
+        second = run_checks([tmp_path], baseline=Baseline.load(bl_path))
+        assert second.ok
+        assert [v.code for v in second.baseline_suppressed] == ["REPRO101"]
+
+        # 4. a *new* finding still fails the gate
+        (tmp_path / "worse.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        third = run_checks([tmp_path], baseline=Baseline.load(bl_path))
+        assert not third.ok
+        assert [v.code for v in third.violations] == ["REPRO102"]
+
+        # 5. the ratchet: fixing the file prunes its entry on rewrite
+        (tmp_path / "dirty.py").write_text("x = 1\n")
+        (tmp_path / "worse.py").write_text("y = 2\n")
+        clean = run_checks([tmp_path])
+        assert Baseline.load(bl_path).rewrite(clean.violations) == 0
+        assert json.loads(bl_path.read_text())["findings"] == {}
+
+    def test_fingerprint_survives_line_drift(self):
+        rule = Rule(code="REPRO101", name="x", summary="s", hint="h")
+        a = Violation(rule=rule, path="m.py", line=3, col=0, message="msg")
+        b = Violation(rule=rule, path="m.py", line=40, col=0, message="msg")
+        line = "  rng = np.random.default_rng()  "
+        assert violation_fingerprint(a, line) == violation_fingerprint(b, line.strip())
+
+    def test_fingerprint_changes_with_content(self):
+        rule = Rule(code="REPRO101", name="x", summary="s", hint="h")
+        v = Violation(rule=rule, path="m.py", line=3, col=0, message="msg")
+        assert violation_fingerprint(v, "a = 1") != violation_fingerprint(v, "a = 2")
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == {}
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Baseline.load(bad)
+        bad.write_text('{"findings": []}')
+        with pytest.raises(ValueError, match="findings"):
+            Baseline.load(bad)
+
+
+class TestSarifExport:
+    def _violations(self, tmp_path):
+        _write_dirty(tmp_path)
+        return run_checks([tmp_path]).violations
+
+    def test_document_structure(self, tmp_path):
+        violations = self._violations(tmp_path)
+        doc = to_sarif(violations, full_catalogue())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-checkers"
+        rules = driver["rules"]
+        assert [r["id"] for r in rules] == [r.code for r in full_catalogue()]
+        for descriptor in rules:
+            assert set(descriptor) >= {
+                "id", "name", "shortDescription", "help", "defaultConfiguration",
+            }
+
+    def test_results_link_rules_by_index(self, tmp_path):
+        violations = self._violations(tmp_path)
+        doc = to_sarif(violations, full_catalogue())
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert len(run["results"]) == len(violations)
+        for result, violation in zip(run["results"], violations):
+            assert result["ruleId"] == violation.code
+            assert rules[result["ruleIndex"]]["id"] == violation.code
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] == violation.line
+            assert region["startColumn"] == violation.col + 1  # 1-based
+
+    def test_unknown_rule_appended_to_catalogue(self):
+        rule = Rule(code="REPRO999", name="adhoc", summary="s", hint="h")
+        v = Violation(rule=rule, path="m.py", line=1, col=0, message="msg")
+        doc = to_sarif([v], full_catalogue())
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[run["results"][0]["ruleIndex"]]["id"] == "REPRO999"
+
+    def test_write_sarif_round_trips(self, tmp_path):
+        violations = self._violations(tmp_path)
+        out = write_sarif(tmp_path / "log.sarif", violations, full_catalogue())
+        doc = json.loads(out.read_text())
+        assert doc == to_sarif(violations, full_catalogue())

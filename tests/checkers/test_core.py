@@ -36,6 +36,34 @@ def test_noqa_parsing_forms():
     }
 
 
+def test_noqa_marker_inside_string_literal_is_inert():
+    """Only real comment tokens suppress; the marker as *data* (e.g. the
+    fixture corpus embedding it in test sources) must not waive anything."""
+    noqa = parse_noqa(
+        'text = "x = 1  # repro: noqa"\n'
+        "y = 2  # repro: noqa-REPRO101\n"
+        'doc = """\n'
+        "multi-line # repro: noqa-REPRO102\n"
+        '"""\n'
+    )
+    assert noqa == {2: {"REPRO101"}}
+
+
+def test_noqa_string_literal_does_not_suppress_violation():
+    src = """
+        import numpy as np
+        marker = "# repro: noqa"
+        rng = np.random.default_rng()
+    """
+    assert findings(src) == [("REPRO101", 4)]
+
+
+def test_noqa_falls_back_to_regex_on_unparseable_source():
+    """Files with syntax errors still get their suppressions honoured."""
+    noqa = parse_noqa("def oops(:  # repro: noqa-REPRO101\n")
+    assert noqa == {1: {"REPRO101"}}
+
+
 def test_noqa_suppresses_matching_code_only():
     src = """
         import numpy as np
@@ -67,6 +95,20 @@ def test_select_and_ignore_prefixes(tmp_path):
     assert only_det == {"REPRO101"}
     no_det = {v.code for v in check_paths([tmp_path], ignore=["REPRO10"])}
     assert no_det == {"REPRO112"}
+
+
+def test_iter_python_files_dedups_overlapping_paths(tmp_path):
+    from repro.checkers import iter_python_files
+
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    a = sub / "a.py"
+    a.write_text("x = 1\n")
+    b = sub / "b.py"
+    b.write_text("y = 2\n")
+    # directory twice, a file also reachable through it, and relative noise
+    files = list(iter_python_files([tmp_path, sub, a, str(a), tmp_path]))
+    assert sorted(f.name for f in files) == ["a.py", "b.py"]
 
 
 def test_syntax_error_reported_as_repro100(tmp_path):

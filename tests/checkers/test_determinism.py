@@ -38,6 +38,45 @@ def test_bare_default_rng_import_flagged():
     assert findings(src) == [("REPRO101", 4)]
 
 
+def test_explicit_none_seed_flagged():
+    """``default_rng(None)`` falls back to OS entropy exactly like no
+    argument at all; both positional and keyword spellings are unseeded."""
+    src = """
+        import numpy as np
+        from numpy.random import default_rng
+
+        a = np.random.default_rng(None)
+        b = np.random.default_rng(seed=None)
+        c = default_rng(None)
+    """
+    assert findings(src) == [("REPRO101", 5), ("REPRO101", 6), ("REPRO101", 7)]
+
+
+def test_non_none_seed_expressions_allowed():
+    src = """
+        import numpy as np
+
+        def build(seed, maybe):
+            a = np.random.default_rng(seed)
+            b = np.random.default_rng(seed=seed)
+            c = np.random.default_rng(maybe if maybe is not None else 0)
+            return a, b, c
+    """
+    assert findings(src) == []
+
+
+def test_kwargs_splat_seed_not_flagged():
+    """``default_rng(**kw)`` may carry a seed; the lint cannot prove either
+    way, so it stays silent (false negatives beat false alarms here)."""
+    src = """
+        import numpy as np
+
+        def build(kw):
+            return np.random.default_rng(**kw)
+    """
+    assert findings(src) == []
+
+
 def test_legacy_np_random_global_state_flagged():
     src = """
         import numpy as np

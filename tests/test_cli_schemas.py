@@ -3,9 +3,9 @@
 ``--json`` payloads are a contract: downstream tooling (CI dashboards,
 result scrapers) keys off exact field names.  These tests pin the key sets
 and value types of every JSON surface - ``report --json``,
-``campaign status --json``, ``backends --json``, and ``obs report --json``
-- so a rename or a
-dropped field fails loudly here instead of silently breaking a consumer.
+``campaign status --json``, ``backends --json``, ``check --json``, and
+``obs report --json`` - so a rename or a dropped field fails loudly here
+instead of silently breaking a consumer.
 
 Golden key sets are asserted with ``==`` (not ``<=``): adding a field is
 also a schema change and should be a conscious one (update the golden set
@@ -130,6 +130,64 @@ class TestBackendsSchema:
         assert "active: numpy" in out
         for name in ("numpy", "bitsliced", "numba"):
             assert name in out
+
+
+class TestCheckSchema:
+    def test_golden_keys_clean(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        payload = run_json(
+            capsys,
+            ["check", str(tmp_path), "--json",
+             "--baseline", str(tmp_path / "bl.json")],
+        )
+        assert set(payload) == {
+            "ok", "files_checked", "violation_count", "baseline_suppressed",
+            "violations",
+        }
+        assert payload["ok"] is True
+        assert payload["files_checked"] == 1
+        assert payload["violation_count"] == 0
+        assert payload["baseline_suppressed"] == 0
+        assert payload["violations"] == []
+
+    def test_golden_keys_dirty_and_exit_code(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(["check", str(tmp_path), "--json",
+                  "--baseline", str(tmp_path / "bl.json")])
+        assert exc.value.code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["violation_count"] == 1
+        (violation,) = payload["violations"]
+        assert set(violation) == {"code", "path", "line", "col", "message", "hint"}
+        assert violation["code"] == "REPRO101"
+        assert violation["line"] == 2
+
+    def test_update_baseline_then_clean(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        baseline = tmp_path / "bl.json"
+        main(["check", str(tmp_path), "--baseline", str(baseline),
+              "--update-baseline"])
+        assert "1 finding(s) recorded" in capsys.readouterr().out
+        payload = run_json(
+            capsys, ["check", str(tmp_path), "--json", "--baseline", str(baseline)]
+        )
+        assert payload["ok"] is True
+        assert payload["baseline_suppressed"] == 1
+
+    def test_sarif_flag_writes_log(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        out = tmp_path / "log.sarif"
+        main(["check", str(tmp_path), "--sarif", str(out),
+              "--baseline", str(tmp_path / "bl.json")])
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-checkers"
 
 
 class TestObsReportSchema:
