@@ -7,7 +7,7 @@ chaos-injection harness that proves all of it under test.  See DESIGN.md
 §6d and ``python -m repro campaign --help``.
 """
 
-from .chaos import ChaosInjected, ChaosSchedule
+from .chaos import ChaosInjected, ChaosSchedule, FleetChaos
 from .manifest import Manifest, fingerprint
 from .plan import (
     ENGINE_BATCHED,
@@ -25,7 +25,17 @@ from .runner import (
     resume_campaign,
     start_campaign,
 )
-from .supervisor import ChunkOutcome, Supervisor, SupervisorPolicy
+from .supervisor import ChunkOutcome, Supervisor, SupervisorPolicy, terminate_worker
+
+# imported after runner/supervisor: fleet depends on both being initialized
+from .fleet import (
+    FleetAgent,
+    FleetPolicy,
+    FleetScheduler,
+    fleet_status,
+    run_agent,
+    serve_campaign,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -37,6 +47,10 @@ __all__ = [
     "ChunkSpec",
     "ENGINE_BATCHED",
     "ENGINE_SEQUENTIAL",
+    "FleetAgent",
+    "FleetChaos",
+    "FleetPolicy",
+    "FleetScheduler",
     "Manifest",
     "PLAN_VERSION",
     "Supervisor",
@@ -45,6 +59,10 @@ __all__ = [
     "campaign_status",
     "execute_chunk",
     "fingerprint",
+    "fleet_status",
     "resume_campaign",
+    "run_agent",
+    "serve_campaign",
     "start_campaign",
+    "terminate_worker",
 ]

@@ -28,6 +28,34 @@ Schedules parse from a compact spec string (used by the CLI and CI smoke)::
 ``kind:chunk`` injects on attempt 0 by default; ``@a`` (pipe-separated
 ``@0|2`` for several) names explicit attempts.  ``raise`` ignores attempt
 numbers (it models a deterministic kernel bug, not a transient).
+
+Network chaos (the fleet harness)
+---------------------------------
+:class:`FleetChaos` extends the same by-schedule philosophy to the
+distributed scheduler (:mod:`repro.campaign.fleet`).  Agent faults key on
+(agent name, nth lease that agent receives); frame faults key on (agent
+name, outbound frame sequence number); the scheduler crash keys on the
+number of committed chunks.  Nothing reads a wall clock or an unseeded RNG,
+so a fleet chaos test replays exactly.
+
+* ``kill``      - the agent dies abruptly on its nth lease (connection
+  drops mid-chunk); the scheduler must requeue the lease at once.
+* ``hang``      - the agent goes silent on its nth lease (heartbeats stop,
+  the TCP connection stays open); the lease must expire and requeue, and
+  the late result the agent eventually sends must be deduplicated.
+* ``slow``      - the agent keeps heartbeating but delays its nth chunk;
+  near end-of-campaign an idle peer must steal the straggler lease.
+* ``partition`` - every frame the agent sends while working its nth lease
+  is dropped (one-way network partition); heals on the next lease.
+* ``drop`` / ``dup`` / ``reorder`` - the agent's nth outbound *frame* is
+  dropped, duplicated, or delayed behind its successor.
+* ``crash``     - scheduler-level: stop serving after N committed chunks,
+  leaving a consistent manifest; a restarted scheduler must finish the
+  campaign bit-identically.
+
+Fleet specs look like::
+
+    kill:a1@0,hang:a2@1,slow:a3@2,partition:a1@3,drop:a2@5,crash:4
 """
 
 from __future__ import annotations
@@ -123,3 +151,106 @@ class ChaosSchedule:
 
     def should_abort(self, chunks_committed: int) -> bool:
         return self.abort_after is not None and chunks_committed >= self.abort_after
+
+
+#: fleet fault kinds that key on (agent, nth lease).
+_FLEET_LEASE_KINDS = ("kill", "hang", "slow", "partition")
+#: fleet fault kinds that key on (agent, outbound frame sequence number).
+_FLEET_FRAME_KINDS = ("drop", "dup", "reorder")
+
+
+@dataclass(frozen=True)
+class FleetChaos:
+    """Scheduled agent/network/scheduler faults for one fleet campaign.
+
+    Lease-keyed maps go from agent name to the set of lease ordinals (the
+    nth lease that agent receives, 0-based) that fault; frame-keyed maps go
+    from agent name to outbound frame sequence numbers.  ``crash_after`` is
+    the scheduler-side kill switch.  ``hang_seconds`` / ``slow_seconds``
+    bound how long the corresponding faults stall - tests shrink them so a
+    hung agent wakes up *after* its lease expired and exercises the
+    late-result path.
+    """
+
+    kill: dict[str, frozenset[int]] = field(default_factory=dict)
+    hang: dict[str, frozenset[int]] = field(default_factory=dict)
+    slow: dict[str, frozenset[int]] = field(default_factory=dict)
+    partition: dict[str, frozenset[int]] = field(default_factory=dict)
+    drop: dict[str, frozenset[int]] = field(default_factory=dict)
+    dup: dict[str, frozenset[int]] = field(default_factory=dict)
+    reorder: dict[str, frozenset[int]] = field(default_factory=dict)
+    crash_after: int | None = None
+    hang_seconds: float = 30.0
+    slow_seconds: float = 5.0
+
+    @classmethod
+    def parse(cls, spec: str, hang_seconds: float = 30.0,
+              slow_seconds: float = 5.0) -> "FleetChaos":
+        """Build a fleet schedule from the compact spec string.
+
+        ``kind:agent`` faults the agent's lease 0 (its first) by default;
+        ``@n`` (pipe-separated ``@0|2`` for several) names explicit lease
+        ordinals, or frame sequence numbers for drop/dup/reorder;
+        ``crash:N`` stops the scheduler after N commits.
+        """
+        tables: dict[str, dict[str, frozenset[int]]] = {
+            kind: {} for kind in (*_FLEET_LEASE_KINDS, *_FLEET_FRAME_KINDS)
+        }
+        crash_after = None
+        for item in filter(None, (part.strip() for part in spec.split(","))):
+            if ":" not in item:
+                raise ValueError(
+                    f"bad fleet chaos item {item!r}; want kind:agent[@ordinals]"
+                )
+            kind, rest = item.split(":", 1)
+            if kind == "crash":
+                crash_after = int(rest)
+                continue
+            if kind not in tables:
+                have = ", ".join((*_FLEET_LEASE_KINDS, *_FLEET_FRAME_KINDS, "crash"))
+                raise ValueError(f"unknown fleet chaos kind {kind!r}; have {have}")
+            if "@" in rest:
+                agent, ordinals_text = rest.split("@", 1)
+                ordinals = frozenset(int(a) for a in ordinals_text.split("|"))
+            else:
+                agent, ordinals = rest, frozenset({0})
+            if not agent:
+                raise ValueError(f"fleet chaos item {item!r} names no agent")
+            tables[kind][agent] = ordinals
+        return cls(
+            kill=tables["kill"], hang=tables["hang"], slow=tables["slow"],
+            partition=tables["partition"], drop=tables["drop"],
+            dup=tables["dup"], reorder=tables["reorder"],
+            crash_after=crash_after, hang_seconds=hang_seconds,
+            slow_seconds=slow_seconds,
+        )
+
+    # -- agent-side hooks (lease-keyed) ---------------------------------------
+
+    def fires_kill(self, agent: str, nth_lease: int) -> bool:
+        return nth_lease in self.kill.get(agent, frozenset())
+
+    def fires_hang(self, agent: str, nth_lease: int) -> bool:
+        return nth_lease in self.hang.get(agent, frozenset())
+
+    def fires_slow(self, agent: str, nth_lease: int) -> bool:
+        return nth_lease in self.slow.get(agent, frozenset())
+
+    def fires_partition(self, agent: str, nth_lease: int) -> bool:
+        return nth_lease in self.partition.get(agent, frozenset())
+
+    # -- link-side hooks (frame-keyed) ----------------------------------------
+
+    def frame_dropped(self, agent: str, seq: int) -> bool:
+        return seq in self.drop.get(agent, frozenset())
+
+    def frame_duplicated(self, agent: str, seq: int) -> bool:
+        return seq in self.dup.get(agent, frozenset())
+
+    def frame_reordered(self, agent: str, seq: int) -> bool:
+        return seq in self.reorder.get(agent, frozenset())
+
+    # -- scheduler-side hook ---------------------------------------------------
+
+    def should_crash(self, chunks_committed: int) -> bool:
+        return self.crash_after is not None and chunks_committed >= self.crash_after

@@ -1,0 +1,75 @@
+"""Fingerprint-keyed result cache: identical configs are free.
+
+The campaign fingerprint (SHA-256 over scheme, rates, trial/seed plan,
+chunking, plan version - see :mod:`repro.campaign.manifest`) already names
+a result universe exactly; the cache is nothing more than a directory of
+``<fingerprint>.json`` files written through
+:func:`repro.utils.atomic_io.atomic_write_json`.  Re-submitting a config
+the fleet has already completed returns the stored summary instantly -
+the "repeated configurations are free" half of campaign-as-a-service.
+
+Entries are only written for *complete* campaigns (every chunk committed,
+nothing quarantined), so a cache hit is always a full, trustworthy tally.
+A corrupt or torn entry (only possible from an external writer; our own
+writes are atomic) is treated as a miss and overwritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ...obs import metrics as _obs
+from ...utils.atomic_io import atomic_write_json
+
+_C_HITS = _obs.counter("fleet.cache_hits")
+_C_MISSES = _obs.counter("fleet.cache_misses")
+
+#: cache entry format version (bumped on any shape change).
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Directory-backed map from campaign fingerprint to result summary."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def _entry(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def lookup(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored summary for ``fingerprint``, or ``None`` on a miss."""
+        path = self._entry(fingerprint)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            if _obs.enabled():
+                _C_MISSES.add(1)
+            return None
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != CACHE_VERSION
+            or raw.get("fingerprint") != fingerprint
+        ):
+            if _obs.enabled():
+                _C_MISSES.add(1)
+            return None
+        if _obs.enabled():
+            _C_HITS.add(1)
+        return raw
+
+    def store(self, fingerprint: str, config: dict[str, Any],
+              summary: dict[str, Any]) -> Path:
+        """Record a *complete* campaign's summary under its fingerprint."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return atomic_write_json(
+            self._entry(fingerprint),
+            {
+                "version": CACHE_VERSION,
+                "fingerprint": fingerprint,
+                "config": config,
+                "summary": summary,
+            },
+        )

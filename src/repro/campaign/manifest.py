@@ -4,13 +4,22 @@ One campaign lives in one directory holding a single ``manifest.json``.
 The manifest records the full campaign config, a SHA-256 *fingerprint* of
 everything that affects results (scheme, rates, trial/seed plan, chunking,
 plan version), the per-chunk tallies committed so far and any quarantined
-chunks.  Every mutation rewrites the file through
+chunks.  Every save rewrites the file through
 :func:`repro.utils.atomic_io.atomic_write_json`, so a SIGKILL at any moment
 leaves either the previous or the next complete manifest - never a torn
 one.  Resume loads the manifest, recomputes the fingerprint of the
 requested config and refuses with :class:`repro.errors.EngineMismatch` on
 any difference, because merging tallies across different configs would be
 silent nonsense.
+
+Saves are *debounced*: ``save_every`` (default 1: save on every mutation,
+the historical behaviour) batches chunk records so a long campaign is not
+O(chunks**2) in manifest I/O, and :meth:`Manifest.flush` forces the batch
+out.  Debouncing never weakens crash safety - the file on disk is always a
+complete, consistent prefix of the in-memory state, and a crash merely
+re-runs the (deterministic) chunks recorded since the last save, so the
+resumed result stays bit-identical.  Rare events (quarantine, obs merges)
+always flush.
 """
 
 from __future__ import annotations
@@ -78,6 +87,9 @@ class Manifest:
     # gate a resume - and absent entirely when campaigns run without obs,
     # so pre-obs manifests load unchanged.
     obs: dict[str, Any] = field(default_factory=dict)
+    #: save after this many un-persisted chunk records (1 = every record).
+    save_every: int = 1
+    _dirty: int = field(default=0, repr=False, compare=False)
 
     # -- construction ---------------------------------------------------------
 
@@ -155,8 +167,20 @@ class Manifest:
 
     def save(self) -> None:
         atomic_write_json(self.path, self.as_dict())
+        self._dirty = 0
 
-    # -- mutation (each call persists atomically) -----------------------------
+    def flush(self) -> None:
+        """Persist any debounced mutations now (no-op when already clean)."""
+        if self._dirty:
+            self.save()
+
+    def _maybe_save(self) -> None:
+        """Debounced save: persist once ``save_every`` mutations accumulate."""
+        self._dirty += 1
+        if self._dirty >= max(1, self.save_every):
+            self.save()
+
+    # -- mutation (persisted atomically; chunk records are debounced) ---------
 
     def record_chunk(self, index: int, tally: Tally, trials: int,
                      attempts: int, engine: str,
@@ -168,7 +192,7 @@ class Manifest:
         if span is not None:
             self.obs.setdefault("spans", {})[str(index)] = span
         self.quarantined.pop(index, None)
-        self.save()
+        self._maybe_save()
 
     def quarantine_chunk(self, index: int, error: str, message: str,
                          attempts: int, seed: int) -> None:

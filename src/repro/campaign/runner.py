@@ -136,6 +136,11 @@ def _run_pending(manifest: Manifest, config: CampaignConfig,
     specs = [spec for spec in plan.chunks if spec.index in pending]
 
     committed = len(manifest.chunks)
+    # Debounced manifest I/O: record_chunk batches saves (O(chunks) instead
+    # of O(chunks**2) over a long campaign); every exit path below flushes,
+    # and a SIGKILL loses at most save_every-1 records, which resume simply
+    # re-runs - deterministic chunks make the lost work bit-identical.
+    manifest.save_every = max(1, policy.manifest_save_every)
 
     def on_success(spec: ChunkSpec, tally: Tally, attempts: int, engine: str,
                    span: dict[str, Any] | None = None) -> None:
@@ -144,6 +149,7 @@ def _run_pending(manifest: Manifest, config: CampaignConfig,
                               span=span)
         committed += 1
         if chaos is not None and chaos.should_abort(committed):
+            manifest.flush()
             raise CampaignAborted(
                 f"chaos abort after {committed} committed chunks "
                 f"(manifest {manifest.path} is consistent; resume to finish)"
@@ -174,6 +180,7 @@ def _run_pending(manifest: Manifest, config: CampaignConfig,
         try:
             supervisor.run(specs)
         finally:
+            manifest.flush()
             if _obs.enabled():
                 manifest.record_obs_metrics(
                     _obs.snapshot(f"campaign-{manifest.fingerprint[:12]}")

@@ -67,6 +67,7 @@ _C_FAILURES = {
     kind: _obs.counter(f"campaign.failures.{kind}")
     for kind in (FAIL_CRASH, FAIL_TIMEOUT, FAIL_RAISE, FAIL_NUMERICAL)
 }
+_C_KILL_ESCALATIONS = _obs.counter("campaign.kill_escalations")
 _H_BACKOFF = _obs.histogram("campaign.backoff_wait_s", _obs.DURATION_BUCKETS_S)
 
 
@@ -80,6 +81,8 @@ class SupervisorPolicy:
     backoff: float = 0.5  # base backoff, seconds (doubles per attempt)
     backoff_cap: float = 30.0
     poll_interval: float = 0.02
+    term_grace: float = 5.0  # SIGTERM -> SIGKILL escalation window, seconds
+    manifest_save_every: int = 8  # manifest debounce (see Manifest.save_every)
 
 
 @dataclass
@@ -114,6 +117,29 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     """Prefer fork (cheap on POSIX); fall back to spawn elsewhere."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def terminate_worker(process: multiprocessing.process.BaseProcess,
+                     grace: float = 5.0) -> bool:
+    """Terminate ``process``, escalating SIGTERM -> SIGKILL after ``grace``.
+
+    Returns ``True`` when the hard kill was needed (the worker ignored or
+    never got to service SIGTERM).  Either way the process is joined - i.e.
+    reaped - before returning, so no zombie is left behind; escalations are
+    counted in the ``campaign.kill_escalations`` obs counter.
+    """
+    if not process.is_alive():
+        process.join()  # reap an already-dead child
+        return False
+    process.terminate()
+    process.join(timeout=grace)
+    if not process.is_alive():
+        return False
+    process.kill()
+    process.join()
+    if _obs.enabled():
+        _C_KILL_ESCALATIONS.add(1)
+    return True
 
 
 def _worker_entry(conn: Any, kind: str, scheme: EccScheme, rates: FaultRates,
@@ -233,14 +259,16 @@ class Supervisor:
             started=started,
         )
 
-    @staticmethod
-    def _terminate(job: _Job) -> None:
-        if job.process.is_alive():
-            job.process.terminate()
-            job.process.join(timeout=5.0)
-            if job.process.is_alive():  # pragma: no cover - stubborn child
-                job.process.kill()
-                job.process.join()
+    def _terminate(self, job: _Job) -> None:
+        """Stop a worker: SIGTERM, bounded grace, then SIGKILL and reap.
+
+        A worker that ignores (or is too wedged to service) SIGTERM would
+        otherwise survive ``join(timeout=...)`` as a zombie-to-be holding
+        its pipe end open; the escalation guarantees the process is gone
+        before the supervisor moves on, and counts how often the hard path
+        was needed.
+        """
+        terminate_worker(job.process, self.policy.term_grace)
         job.conn.close()
 
     # -- event handling --------------------------------------------------------

@@ -15,8 +15,10 @@ Three building blocks shared by every REPRO2xx rule family:
 * **Worker dispatch sites** - the process-boundary crossings: a callable
   plus its shipped arguments for ``ProcessPoolExecutor.submit``/``map``,
   ``multiprocessing.Pool.apply*``/``*map*`` and ``Process(target=...,
-  args=(...))`` launches.  Everything in ``shipped`` is pickled into a
-  worker, which is exactly where the 20x/21x invariants bite.
+  args=(...))`` launches, plus the fleet wire (``write_frame`` /
+  ``send_frame`` / ``FrameLink.send`` - JSON frames shipped to agent
+  processes over a socket).  Everything in ``shipped`` crosses into
+  another process, which is exactly where the 20x/21x invariants bite.
 
 Plus a small generic taint engine (:func:`tainted_names`,
 :func:`expr_tainted`) used by the obs-purity family: a caller supplies an
@@ -301,6 +303,16 @@ _POOL_CTOR_QUALS = frozenset(
     {"concurrent.futures.ProcessPoolExecutor", "multiprocessing.Pool"}
 )
 
+#: fleet frame-send call tails: the scheduler/agent socket boundary.  A
+#: frame crosses into another *process on another machine*, so everything
+#: the 21x rules forbid across a fork/spawn boundary is forbidden here too
+#: (and more: frames are JSON, so RNGs/backends/handles cannot even be
+#: pickled across - they must be flagged at the send site).
+_FLEET_SEND_TAILS = frozenset({"write_frame", "send_frame"})
+
+#: constructor tail that binds a framed fleet connection endpoint.
+_FLEET_LINK_CTOR_TAILS = frozenset({"FrameLink"})
+
 
 @dataclass(frozen=True)
 class DispatchSite:
@@ -356,6 +368,19 @@ def _binds_pool(name: str, scope: Scope, module: ModuleInfo, resolver: Resolver)
     )
 
 
+def _binds_fleet_link(name: str, scope: Scope) -> bool:
+    hit = scope.lookup(name)
+    if hit is None:
+        return False
+    _, values = hit
+    return any(
+        isinstance(v, ast.Call)
+        and (chain := attr_chain(v.func))
+        and chain[-1] in _FLEET_LINK_CTOR_TAILS
+        for v in values
+    )
+
+
 def iter_dispatch_sites(
     scope: Scope, module: ModuleInfo, resolver: Resolver
 ) -> Iterator[DispatchSite]:
@@ -381,8 +406,38 @@ def iter_dispatch_sites(
                 ),
             )
             continue
-        # Process(target=fn, args=(...), kwargs={...})
+        # write_frame(writer, frame) / conn.send_frame(frame): the fleet
+        # wire.  The first positional of the free-function form is the
+        # transport, not cargo; everything after it ships to a peer process.
         chain = attr_chain(func)
+        if chain and chain[-1] in _FLEET_SEND_TAILS:
+            cargo = tuple(sub.args[1:]) if len(sub.args) > 1 else tuple(sub.args)
+            yield DispatchSite(
+                call=sub,
+                kind="fleet",
+                target=None,  # frames carry data, never callables
+                shipped=_expand_shipped(
+                    cargo + tuple(kw.value for kw in sub.keywords)
+                ),
+            )
+            continue
+        # link.send(frame) where link is a FrameLink
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "send"
+            and isinstance(func.value, ast.Name)
+            and _binds_fleet_link(func.value.id, scope)
+        ):
+            yield DispatchSite(
+                call=sub,
+                kind="fleet",
+                target=None,
+                shipped=_expand_shipped(
+                    tuple(sub.args) + tuple(kw.value for kw in sub.keywords)
+                ),
+            )
+            continue
+        # Process(target=fn, args=(...), kwargs={...})
         if chain and chain[-1] == "Process":
             target: ast.expr | None = None
             shipped: tuple[ast.expr, ...] = ()

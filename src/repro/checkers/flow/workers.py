@@ -5,7 +5,11 @@ by value (pickled through the dispatch call) and everything process-local -
 open handles, module-global mutable state, resolved backend objects - must
 be re-created on the worker side.  ``campaign/supervisor.py`` is the
 reference pattern: workers receive plain data plus the *name* of the GF
-kernel backend and re-resolve it locally.  These rules pin that pattern:
+kernel backend and re-resolve it locally.  The fleet wire
+(``campaign/fleet``) is the same boundary stretched over a socket - its
+frame sends are dispatch sites too, and JSON framing makes the invariants
+even harder: an RNG, backend object or handle cannot cross at all, so it
+must be flagged where the send happens.  These rules pin that pattern:
 
 * REPRO211 - the callable shipped to a worker is a closure (lambda or
   nested def) capturing enclosing-scope state, or a module-level function

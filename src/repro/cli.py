@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven subcommands expose the library's engines without writing any code:
+Twelve subcommands expose the library's engines without writing any code:
 
 * ``info``                    - scheme/code configuration table (T1);
 * ``reliability``             - analytic failure-probability sweep (F2);
@@ -11,6 +11,9 @@ Eleven subcommands expose the library's engines without writing any code:
 * ``report``                  - regenerate the full markdown report;
 * ``campaign``                - resilient long Monte-Carlo campaigns
   (``run`` / ``resume`` / ``status``) with checkpointing and retry;
+* ``fleet``                   - the same campaigns sharded across worker
+  agents over a socket protocol (``serve`` / ``worker`` / ``submit`` /
+  ``status``) with leases, work-stealing and crash-safe restart;
 * ``obs``                     - observability: merge and render metric/span
   exports (``report``), from an ``obs.jsonl`` or a campaign directory;
 * ``backends``                - GF(2^m) kernel backend registry: which tiers
@@ -38,6 +41,9 @@ Examples::
         --trials 1000000 --ber 1e-4 --workers 8 --obs-out runs/pair-tail/obs.jsonl
     python -m repro campaign resume --dir runs/pair-tail
     python -m repro campaign status --dir runs/pair-tail --json
+    python -m repro fleet serve --dir runs/pair-tail --scheme pair --trials 1000000
+    python -m repro fleet worker --name w0 --dir runs/pair-tail
+    python -m repro fleet status --dir runs/pair-tail --json
     python -m repro obs report --in runs/pair-tail
 """
 
@@ -275,6 +281,132 @@ def cmd_campaign_status(args: argparse.Namespace) -> None:
           f"due={tally['due']} sdc={tally['sdc']}")
 
 
+def _fleet_campaign_config(args: argparse.Namespace):
+    from .campaign import CampaignConfig
+    from .faults import DEFAULT_RATES
+
+    return CampaignConfig(
+        scheme=args.scheme, kind=args.kind, trials=args.trials, seed=args.seed,
+        resample_faults_every=args.resample_every, chunk_trials=args.chunk_trials,
+        rates=DEFAULT_RATES.with_ber(args.ber),
+    )
+
+
+def _fleet_chaos(args: argparse.Namespace):
+    from .campaign import FleetChaos
+
+    return FleetChaos.parse(args.chaos) if getattr(args, "chaos", None) else None
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> None:
+    from .campaign.fleet import FleetPolicy, serve_campaign
+    from .errors import CampaignAborted
+
+    config = None if args.resume else _fleet_campaign_config(args)
+    policy = FleetPolicy(
+        host=args.host, port=args.port, lease_timeout=args.lease_timeout,
+        heartbeat_interval=args.heartbeat, retries=args.retries,
+        backoff=args.backoff, steal_copies=args.steal_copies,
+        degrade_after=args.degrade_after,
+    )
+    _obs_begin(args)
+    try:
+        result = serve_campaign(args.dir, config, policy=policy,
+                                chaos=_fleet_chaos(args),
+                                cache_dir=args.cache_dir)
+    except CampaignAborted as exc:
+        print(f"fleet scheduler stopped: {exc}")
+        raise SystemExit(3) from None
+    finally:
+        _obs_finish(args, "fleet-serve")
+    _print_campaign_result(result)
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> None:
+    from .campaign.fleet import run_agent
+    from .campaign.fleet.agent import AgentKilled, AgentPolicy
+    from .errors import AgentFailure
+
+    host = port = None
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise SystemExit(f"bad --connect {args.connect!r}; want HOST:PORT")
+        port = int(port_text)
+    elif not args.dir:
+        raise SystemExit("fleet worker needs --dir or --connect HOST:PORT")
+    obs_on = _obs_begin(args)
+    try:
+        summary = run_agent(
+            args.name, host=host, port=port, directory=args.dir,
+            chaos=_fleet_chaos(args),
+            policy=AgentPolicy(connect_timeout=args.connect_timeout),
+            collect_obs=obs_on,
+        )
+    except AgentKilled as exc:
+        print(f"worker killed by chaos: {exc}")
+        raise SystemExit(13) from None
+    except AgentFailure as exc:
+        print(f"worker failed: {exc}")
+        raise SystemExit(1) from None
+    finally:
+        _obs_finish(args, f"fleet-worker-{args.name}")
+    done = "saw campaign completion" if summary.saw_done else "scheduler went away"
+    print(f"worker {summary.agent}: {summary.chunks_done} chunk(s) "
+          f"({summary.steals_run} stolen), {summary.disconnects} reconnect(s); "
+          f"{done}")
+
+
+def cmd_fleet_submit(args: argparse.Namespace) -> None:
+    from .campaign import start_campaign
+    from .campaign.fleet import ResultCache
+    from .campaign.manifest import fingerprint as config_fingerprint
+
+    config = _fleet_campaign_config(args)
+    fp_dict = config.fingerprint_dict()
+    fp = config_fingerprint(fp_dict)
+    cache = ResultCache(args.cache_dir)
+    hit = cache.lookup(fp)
+    if hit is not None:
+        summary = hit["summary"]
+        print(f"cache hit for fingerprint {fp[:12]}... "
+              f"(ok={summary['ok']} ce={summary['ce']} due={summary['due']} "
+              f"sdc={summary['sdc']}, {summary['chunks_done']} chunks)")
+        return
+    print(f"cache miss for fingerprint {fp[:12]}...; running locally")
+    result = start_campaign(args.dir, config)
+    if result.complete:
+        cache.store(fp, fp_dict, result.summary())
+    _print_campaign_result(result)
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> None:
+    from .campaign.fleet import fleet_status
+
+    status = fleet_status(args.dir)
+    if args.json:
+        import json
+
+        print(json.dumps(status, sort_keys=True))
+        return
+    fleet = status.pop("fleet", None)
+    tally = status.pop("tally")
+    for key, value in status.items():
+        print(f"{key:14s} {value}")
+    print(f"{'tally':14s} ok={tally['ok']} ce={tally['ce']} "
+          f"due={tally['due']} sdc={tally['sdc']}")
+    if fleet is None:
+        print("no fleet scheduler has served this campaign")
+        return
+    print(f"{'scheduler':14s} {fleet.get('state')} "
+          f"(pid {fleet.get('pid')}, {fleet.get('host')}:{fleet.get('port')})")
+    leases = fleet.get("leases", {})
+    print(f"{'leases':14s} {len(leases.get('active', []))} active, "
+          f"{leases.get('granted', 0)} granted, {leases.get('expired', 0)} "
+          f"expired, {leases.get('stolen', 0)} stolen")
+    print(f"{'agents_seen':14s} {' '.join(fleet.get('agents_seen', [])) or '-'}")
+
+
 def cmd_backends(args: argparse.Namespace) -> None:
     from .galois.backends import backends_report
 
@@ -469,6 +601,96 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--json", action="store_true",
                           help="print the status dict as JSON")
     p_status.set_defaults(func=cmd_campaign_status)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="distributed campaigns: scheduler, workers, cache, status",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_config(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheme", default="pair",
+                       help="one of: no-ecc iecc-sec xed duo pair")
+        p.add_argument("--kind", default="iid",
+                       help="'iid' or 'single:<fault>' (e.g. single:row)")
+        p.add_argument("--trials", type=int, default=10_000)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--ber", type=float, default=1e-4,
+                       help="weak-cell BER applied to the default fault rates")
+        p.add_argument("--chunk-trials", type=int, default=256)
+        p.add_argument("--resample-every", type=int, default=1)
+
+    p_serve = fleet_sub.add_parser(
+        "serve", help="run the scheduler until the campaign completes"
+    )
+    p_serve.add_argument("--dir", required=True, help="campaign directory")
+    add_fleet_config(p_serve)
+    p_serve.add_argument("--resume", action="store_true",
+                         help="take the config from the existing manifest "
+                              "(ignores the config flags above)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 picks a free port; see fleet.json for the "
+                              "bound endpoint")
+    p_serve.add_argument("--lease-timeout", type=float, default=10.0,
+                         help="seconds without a heartbeat before a lease "
+                              "expires and its chunk requeues")
+    p_serve.add_argument("--heartbeat", type=float, default=1.0,
+                         help="heartbeat interval agents are told to use")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="extra attempts per chunk before quarantine")
+    p_serve.add_argument("--backoff", type=float, default=0.25,
+                         help="base requeue backoff in seconds")
+    p_serve.add_argument("--steal-copies", type=int, default=2,
+                         help="max concurrent leases per chunk when stealing")
+    p_serve.add_argument("--degrade-after", type=float, default=None,
+                         metavar="SECONDS",
+                         help="fall back to the in-process supervisor if no "
+                              "agent connects within this window")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="store the completed result in this "
+                              "fingerprint-keyed cache directory")
+    p_serve.add_argument("--chaos", metavar="SPEC", default=None,
+                         help="fleet chaos schedule, e.g. "
+                              "'kill:a0@1,hang:a1,crash:4' (testing/CI only)")
+    add_obs_out(p_serve)
+    p_serve.set_defaults(func=cmd_fleet_serve)
+
+    p_worker = fleet_sub.add_parser(
+        "worker", help="run one agent against a scheduler"
+    )
+    p_worker.add_argument("--name", required=True, help="unique agent name")
+    p_worker.add_argument("--dir", default=None,
+                          help="campaign directory (endpoint read from its "
+                               "fleet.json sidecar, re-read on reconnect)")
+    p_worker.add_argument("--connect", metavar="HOST:PORT", default=None,
+                          help="explicit scheduler endpoint instead of --dir")
+    p_worker.add_argument("--connect-timeout", type=float, default=10.0,
+                          help="give up if no scheduler is reachable for this "
+                               "long")
+    p_worker.add_argument("--chaos", metavar="SPEC", default=None,
+                          help="fleet chaos schedule for this agent's faults")
+    add_obs_out(p_worker)
+    p_worker.set_defaults(func=cmd_fleet_worker)
+
+    p_submit = fleet_sub.add_parser(
+        "submit",
+        help="resolve a config through the result cache (hit: instant; "
+             "miss: run locally and store)",
+    )
+    p_submit.add_argument("--dir", required=True, help="campaign directory")
+    p_submit.add_argument("--cache-dir", required=True,
+                          help="fingerprint-keyed result cache directory")
+    add_fleet_config(p_submit)
+    p_submit.set_defaults(func=cmd_fleet_submit)
+
+    p_fstatus = fleet_sub.add_parser(
+        "status", help="manifest summary plus scheduler sidecar state"
+    )
+    p_fstatus.add_argument("--dir", required=True)
+    p_fstatus.add_argument("--json", action="store_true",
+                           help="print the status dict as JSON")
+    p_fstatus.set_defaults(func=cmd_fleet_status)
 
     p_back = sub.add_parser(
         "backends", help="list GF(2^m) kernel backends and the active one"

@@ -19,6 +19,18 @@ than by string-matching tracebacks:
 * :class:`CampaignAborted`  - the campaign stopped before completion but
   left a consistent manifest behind (resumable).
 
+The distributed fleet (:mod:`repro.campaign.fleet`) adds three more, all
+still under :class:`CampaignError` so campaign-level handlers keep working:
+
+* :class:`FleetProtocolError` - a frame on the scheduler/agent wire was
+  malformed, oversized or of an incompatible protocol version;
+* :class:`AgentFailure`       - an agent died, hung past its lease or
+  reported an engine error; carries the agent name and chunk id;
+* :class:`DuplicateMismatch`  - two executions of the same deterministic
+  chunk returned *different* tallies.  Chunks are pure functions of the
+  campaign config, so this means corruption somewhere (memory, wire, or a
+  non-deterministic engine) and the campaign must stop rather than pick one.
+
 :func:`guard_tally` is the shared validation choke point: every tally that
 crosses a process boundary goes through it before being merged.
 """
@@ -68,6 +80,28 @@ class NumericalGuard(CampaignError):
 
 class CampaignAborted(CampaignError):
     """The campaign stopped early but the manifest is consistent (resumable)."""
+
+
+class FleetProtocolError(CampaignError):
+    """A scheduler/agent wire frame was malformed, oversized or mis-versioned."""
+
+
+class AgentFailure(CampaignError):
+    """A fleet agent died, went silent past its lease, or reported an error."""
+
+    def __init__(self, message: str, agent: str | None = None,
+                 chunk_id: int | None = None):
+        super().__init__(message)
+        self.agent = agent
+        self.chunk_id = chunk_id
+
+
+class DuplicateMismatch(CampaignError):
+    """Two executions of one deterministic chunk disagreed - never mergeable."""
+
+    def __init__(self, message: str, chunk_id: int | None = None):
+        super().__init__(message)
+        self.chunk_id = chunk_id
 
 
 def guard_tally(counts: Sequence[int | float], expected_total: int | None = None,

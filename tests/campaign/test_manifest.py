@@ -64,6 +64,53 @@ class TestRoundtrip:
         assert not status["complete"]
 
 
+class TestDebouncedSave:
+    def test_save_every_batches_disk_writes(self, tmp_path):
+        manifest = make(tmp_path, total=8)
+        manifest.save_every = 3
+        path = tmp_path / MANIFEST_NAME
+        manifest.record_chunk(0, Tally(ok=8), 8, 1, "batched")
+        manifest.record_chunk(1, Tally(ok=8), 8, 1, "batched")
+        assert json.loads(path.read_text())["chunks"] == {}  # still held back
+        manifest.record_chunk(2, Tally(ok=8), 8, 1, "batched")  # hits threshold
+        assert set(json.loads(path.read_text())["chunks"]) == {"0", "1", "2"}
+
+    def test_flush_persists_and_is_idempotent(self, tmp_path):
+        manifest = make(tmp_path, total=8)
+        manifest.save_every = 100
+        manifest.record_chunk(0, Tally(ok=8), 8, 1, "batched")
+        assert json.loads((tmp_path / MANIFEST_NAME).read_text())["chunks"] == {}
+        manifest.flush()
+        on_disk = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert set(on_disk["chunks"]) == {"0"}
+        manifest.flush()  # clean: a no-op, not a rewrite of stale state
+        assert json.loads((tmp_path / MANIFEST_NAME).read_text()) == on_disk
+
+    def test_disk_state_is_always_a_loadable_prefix(self, tmp_path):
+        """A crash between debounced saves may lose recent records but can
+        never leave an unreadable or wrong manifest behind."""
+        manifest = make(tmp_path, config=dict(CONFIG, trials=64), total=8)
+        manifest.save_every = 2
+        recorded = set()
+        for index in range(5):
+            manifest.record_chunk(index, Tally(ok=8), 8, 1, "batched")
+            recorded.add(index)
+            loaded = Manifest.load(tmp_path)
+            assert set(loaded.chunks) <= recorded
+            assert all(loaded.chunks[i].ok == 8 for i in loaded.chunks)
+
+    def test_quarantine_saves_immediately_with_pending_records(self, tmp_path):
+        # quarantine is rare and always worth a write; the save also carries
+        # any debounced chunk records along with it
+        manifest = make(tmp_path, total=8)
+        manifest.save_every = 100
+        manifest.record_chunk(0, Tally(ok=8), 8, 1, "batched")
+        manifest.quarantine_chunk(3, "crash", "worker died", 3, seed=1)
+        loaded = Manifest.load(tmp_path)
+        assert set(loaded.chunks) == {0}
+        assert set(loaded.quarantined) == {3}
+
+
 class TestRefusals:
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(CampaignError, match="no campaign manifest"):

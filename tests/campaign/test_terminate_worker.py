@@ -1,0 +1,58 @@
+"""Zombie-free worker teardown: SIGTERM, then SIGKILL, always reaped."""
+
+import signal
+import time
+
+from repro.campaign.supervisor import _mp_context, terminate_worker
+from repro.obs import metrics
+
+
+def _cooperative_child():
+    # default SIGTERM disposition: dies promptly when asked
+    while True:
+        time.sleep(0.05)
+
+
+def _stubborn_child():
+    # the zombie scenario: a worker wedged with SIGTERM masked never exits
+    # on terminate(); only the SIGKILL escalation can reclaim it
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(0.05)
+
+
+def _start(target):
+    process = _mp_context().Process(target=target, daemon=True)
+    process.start()
+    return process
+
+
+class TestTerminateWorker:
+    def test_cooperative_child_needs_no_escalation(self):
+        process = _start(_cooperative_child)
+        assert terminate_worker(process, grace=5.0) is False
+        assert not process.is_alive()
+        assert process.exitcode is not None  # joined: reaped, no zombie
+
+    def test_sigterm_ignoring_child_is_killed_and_reaped(self):
+        process = _start(_stubborn_child)
+        time.sleep(0.3)  # let the child install its SIG_IGN first
+        assert terminate_worker(process, grace=0.2) is True
+        assert not process.is_alive()
+        assert process.exitcode == -signal.SIGKILL
+
+    def test_already_dead_child_is_reaped_without_signals(self):
+        process = _start(_cooperative_child)
+        process.kill()
+        process.join()
+        assert terminate_worker(process, grace=0.1) is False
+        assert process.exitcode is not None
+
+    def test_escalation_is_counted(self):
+        metrics.reset()
+        with metrics.enabled_scope():
+            process = _start(_stubborn_child)
+            time.sleep(0.3)
+            assert terminate_worker(process, grace=0.2) is True
+            counters = metrics.snapshot()["counters"]
+        assert counters.get("campaign.kill_escalations", 0) >= 1

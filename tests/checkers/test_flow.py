@@ -351,6 +351,92 @@ def test_multiprocessing_pool_dispatch_also_covered():
     assert "REPRO201" in flow_codes(src2)
 
 
+# -- REPRO21x over the fleet wire --------------------------------------------
+
+
+def test_rng_shipped_in_fleet_frame_flagged():
+    """The fleet socket is a worker boundary: a Generator in a frame is the
+    same defect as one pickled into a pool."""
+    src = {
+        f"{PKG}/wire.py": """
+            import numpy as np
+
+            from repro.campaign.fleet.protocol import write_frame
+
+            async def report(writer, chunk):
+                rng = np.random.default_rng()
+                await write_frame(writer, {"chunk": chunk, "rng": rng})
+        """,
+    }
+    assert "REPRO201" in flow_codes(src)
+
+
+def test_backend_object_in_framelink_send_flagged():
+    src = {
+        f"{PKG}/wire.py": """
+            from repro.campaign.fleet.protocol import FrameLink
+            from repro.galois.backends import active_backend
+
+            async def welcome(reader, writer):
+                link = FrameLink(reader, writer)
+                backend = active_backend()
+                await link.send({"type": "welcome", "backend": backend})
+        """,
+    }
+    assert "REPRO212" in flow_codes(src)
+
+
+def test_open_handle_in_fleet_frame_flagged():
+    src = {
+        f"{PKG}/wire.py": """
+            from repro.campaign.fleet.protocol import write_frame
+
+            async def report(writer, chunk):
+                log = open("chunk.log")
+                await write_frame(writer, {"chunk": chunk, "log": log})
+        """,
+    }
+    assert "REPRO213" in flow_codes(src)
+
+
+def test_names_and_counts_frames_are_clean():
+    """The blessed wire shape (scheduler/agent): chunk indices, lease ids,
+    tally counts, backend *names* - never process-local objects."""
+    src = {
+        f"{PKG}/wire.py": """
+            from repro.campaign.fleet.protocol import FrameLink, write_frame
+            from repro.galois.backends import active_backend
+
+            async def welcome(reader, writer, config):
+                link = FrameLink(reader, writer)
+                await link.send({
+                    "type": "welcome",
+                    "config": config,
+                    "backend": active_backend().name,
+                })
+
+            async def report(writer, chunk, counts):
+                await write_frame(writer, {"chunk": chunk, "counts": counts})
+        """,
+    }
+    assert flow_codes(src) == []
+
+
+def test_fleet_transport_argument_is_not_cargo():
+    """Only what goes *into* the frame crosses the boundary; the transport
+    handle in write_frame's first positional stays process-local."""
+    src = {
+        f"{PKG}/wire.py": """
+            from repro.campaign.fleet.protocol import write_frame
+
+            async def report(chunk):
+                sock = open("socket-like", "wb")
+                await write_frame(sock, {"chunk": chunk})
+        """,
+    }
+    assert flow_codes(src) == []
+
+
 # -- REPRO22x: obs purity ----------------------------------------------------
 
 

@@ -132,3 +132,77 @@ class TestCampaign:
         assert excinfo.value.code == 1
         out = capsys.readouterr().out
         assert "quarantined" in out
+
+
+class TestFleet:
+    CONFIG = ["--scheme", "pair", "--trials", "16", "--chunk-trials", "8",
+              "--seed", "2"]
+
+    def serve_degraded(self, tmp_path, *extra):
+        # zero workers + --degrade-after: the scheduler falls back to the
+        # in-process supervisor, which keeps these tests single-process
+        main(["fleet", "serve", "--dir", str(tmp_path / "c"), *self.CONFIG,
+              "--degrade-after", "0.1", "--backoff", "0.01", *extra])
+
+    def test_serve_degraded_completes(self, capsys, tmp_path):
+        self.serve_degraded(tmp_path)
+        out = capsys.readouterr().out
+        assert "chunks: 2/2 done" in out
+        assert "trials: 16" in out
+
+    def test_status_reports_scheduler_state(self, capsys, tmp_path):
+        self.serve_degraded(tmp_path)
+        capsys.readouterr()
+        main(["fleet", "status", "--dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert "complete       True" in out
+        assert "scheduler      complete" in out
+        assert "0 active" in out
+        assert "agents_seen    -" in out
+
+    def test_status_json_round_trips(self, capsys, tmp_path):
+        import json
+
+        self.serve_degraded(tmp_path)
+        capsys.readouterr()
+        main(["fleet", "status", "--dir", str(tmp_path / "c"), "--json"])
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] is True
+        assert status["fleet"]["state"] == "complete"
+        assert status["fleet"]["leases"]["granted"] == 0
+
+    def test_submit_miss_runs_then_hit_is_instant(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        main(["fleet", "submit", "--dir", str(tmp_path / "a"),
+              "--cache-dir", cache, *self.CONFIG])
+        first = capsys.readouterr().out
+        assert "cache miss" in first and "chunks: 2/2 done" in first
+        # identical config, different directory: answered from the cache
+        main(["fleet", "submit", "--dir", str(tmp_path / "b"),
+              "--cache-dir", cache, *self.CONFIG])
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert not (tmp_path / "b").exists()  # no campaign was run
+
+    def test_serve_then_submit_shares_the_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self.serve_degraded(tmp_path, "--cache-dir", cache)
+        capsys.readouterr()
+        main(["fleet", "submit", "--dir", str(tmp_path / "other"),
+              "--cache-dir", cache, *self.CONFIG])
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_worker_requires_an_endpoint(self):
+        with pytest.raises(SystemExit, match="--dir or --connect"):
+            main(["fleet", "worker", "--name", "w0"])
+
+    def test_worker_rejects_malformed_connect(self):
+        with pytest.raises(SystemExit, match="want HOST:PORT"):
+            main(["fleet", "worker", "--name", "w0", "--connect", "nonsense"])
+
+    def test_worker_against_no_scheduler_exits_1(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "worker", "--name", "w0",
+                  "--connect", "127.0.0.1:1", "--connect-timeout", "0.2"])
+        assert excinfo.value.code == 1
+        assert "could not reach" in capsys.readouterr().out
