@@ -21,14 +21,57 @@ def reliability_sweep(
     bers: Iterable[float],
     samples: int = 1500,
     seed: int = 0,
+    estimator: str = "analytic",
+    rare_trials: int = 200_000,
+    rare_tilt: float | str = "auto",
 ) -> dict[str, dict[str, np.ndarray]]:
-    """Failure-probability curves per scheme over a BER sweep (figure F2)."""
+    """Failure-probability curves per scheme over a BER sweep (figure F2).
+
+    ``estimator="analytic"`` (default) evaluates the closed-form models;
+    ``estimator="rareevent"`` replaces each point with a tilted
+    importance-sampling *measurement* of ``rare_trials`` count-level trials
+    (:mod:`repro.reliability.rareevent`), adding ``sdc_lo``/``sdc_hi`` etc.
+    asymptotic-CI arrays alongside the point estimates.
+    """
     bers = np.asarray(list(bers), dtype=float)
     out: dict[str, dict[str, np.ndarray]] = {}
+    if estimator == "analytic":
+        for scheme in schemes:
+            model = build_model(scheme, samples=samples, seed=seed)
+            out[scheme.name] = model.sweep(bers)
+            out[scheme.name]["fail"] = out[scheme.name]["sdc"] + out[scheme.name]["due"]
+        return out
+    if estimator != "rareevent":
+        raise ValueError(
+            f"unknown estimator {estimator!r}; use 'analytic' or 'rareevent'"
+        )
+    from ..faults.rates import DEFAULT_RATES
+    from ..reliability.exact import ExactRunConfig
+    from ..reliability.rareevent import RareEventParams, run_rareevent_iid
+
     for scheme in schemes:
-        model = build_model(scheme, samples=samples, seed=seed)
-        out[scheme.name] = model.sweep(bers)
-        out[scheme.name]["fail"] = out[scheme.name]["sdc"] + out[scheme.name]["due"]
+        columns: dict[str, list[float]] = {
+            key: []
+            for key in ("sdc", "due", "fail", "sdc_lo", "sdc_hi",
+                        "due_lo", "due_hi", "fail_lo", "fail_hi", "ess")
+        }
+        for ber in bers:
+            result = run_rareevent_iid(
+                scheme,
+                DEFAULT_RATES.pure_ber(float(ber)),
+                ExactRunConfig(trials=rare_trials, seed=seed),
+                RareEventParams(tilt=rare_tilt, samples=samples,
+                                table_seed=seed),
+            )
+            outcomes = result.estimates()["outcomes"]
+            for name in ("sdc", "due", "fail"):
+                columns[name].append(outcomes[name]["p_ht"])
+                columns[f"{name}_lo"].append(outcomes[name]["ci_lo"])
+                columns[f"{name}_hi"].append(outcomes[name]["ci_hi"])
+            columns["ess"].append(result.estimates()["ess"])
+        out[scheme.name] = {
+            "ber": bers, **{k: np.asarray(v) for k, v in columns.items()}
+        }
     return out
 
 

@@ -285,10 +285,14 @@ class FleetAgent:
                 if self.collect_obs
                 else None
             )
-            return (tally.ok, tally.ce, tally.due, tally.sdc), snap
+            return (
+                (tally.ok, tally.ce, tally.due, tally.sdc),
+                snap,
+                tally.extra.get("weighted"),
+            )
 
         try:
-            counts, snap = await loop.run_in_executor(None, compute)
+            counts, snap, weighted = await loop.run_in_executor(None, compute)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
@@ -313,6 +317,10 @@ class FleetAgent:
         }
         if snap is not None:
             frame["obs"] = snap
+        if weighted is not None:
+            # rare-event weighted accumulator rides the result frame; absent
+            # for count-only chunks so the wire format stays compatible.
+            frame["extra"] = weighted
         await link.send(frame)
         self.summary.chunks_done += 1
         if lease.get("stolen"):

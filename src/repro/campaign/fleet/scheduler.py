@@ -54,6 +54,7 @@ from ...errors import (
     DuplicateMismatch,
     NumericalGuard,
     guard_tally,
+    guard_weighted,
 )
 from ...galois.backends import active_backend
 from ...obs import metrics as _obs
@@ -379,9 +380,13 @@ class FleetScheduler:
         attempt = (
             lease.attempt if lease is not None else self._known_attempt(chunk)
         )
+        weighted = frame.get("extra")
         try:
             guard_tally(counts, expected_total=spec.trials,
                         context=f"chunk {chunk} from agent {agent!r}")
+            if weighted is not None:
+                guard_weighted(weighted, expected_total=spec.trials,
+                               context=f"chunk {chunk} from agent {agent!r}")
         except NumericalGuard as exc:
             self._requeue_failure(chunk, attempt, FAIL_NUMERICAL, str(exc))
             return
@@ -400,7 +405,8 @@ class FleetScheduler:
             )
             span_dict = rec.as_dict() if rec is not None else None
         tally = Tally(ok=int(counts[0]), ce=int(counts[1]),
-                      due=int(counts[2]), sdc=int(counts[3]))
+                      due=int(counts[2]), sdc=int(counts[3]),
+                      extra={"weighted": weighted} if weighted else {})
         self.manifest.record_chunk(
             chunk, tally, spec.trials, attempt + 1, engine, span=span_dict,
         )

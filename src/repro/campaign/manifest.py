@@ -48,7 +48,13 @@ def fingerprint(config_dict: dict[str, Any]) -> str:
 
 @dataclass
 class ChunkRecord:
-    """A committed chunk: its tally plus how it got there."""
+    """A committed chunk: its tally plus how it got there.
+
+    ``extra`` carries the engine-specific JSON-safe sidecar of the tally
+    (currently the rare-event engine's weighted accumulator under
+    ``"weighted"``); ``None`` for plain count-only chunks, so manifests
+    written before the field existed load - and fingerprint - unchanged.
+    """
 
     ok: int
     ce: int
@@ -57,9 +63,11 @@ class ChunkRecord:
     trials: int
     attempts: int
     engine: str
+    extra: dict[str, Any] | None = None
 
     def tally(self) -> Tally:
-        return Tally(ok=self.ok, ce=self.ce, due=self.due, sdc=self.sdc)
+        return Tally(ok=self.ok, ce=self.ce, due=self.due, sdc=self.sdc,
+                     extra=dict(self.extra) if self.extra else {})
 
 
 @dataclass
@@ -157,7 +165,11 @@ class Manifest:
             "config": self.config,
             "total_chunks": self.total_chunks,
             "chunks": {
-                str(i): vars(rec) for i, rec in sorted(self.chunks.items())
+                # count-only chunks serialize exactly as before the
+                # ``extra`` field existed (old manifests stay byte-stable)
+                str(i): {k: v for k, v in vars(rec).items()
+                         if k != "extra" or v is not None}
+                for i, rec in sorted(self.chunks.items())
             },
             "quarantined": {
                 str(i): vars(rec) for i, rec in sorted(self.quarantined.items())
@@ -188,6 +200,7 @@ class Manifest:
         self.chunks[index] = ChunkRecord(
             ok=tally.ok, ce=tally.ce, due=tally.due, sdc=tally.sdc,
             trials=trials, attempts=attempts, engine=engine,
+            extra=dict(tally.extra) if tally.extra else None,
         )
         if span is not None:
             self.obs.setdefault("spans", {})[str(index)] = span

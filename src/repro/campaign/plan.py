@@ -73,7 +73,7 @@ class CampaignPlan:
 
 def parse_kind(kind: str) -> FaultType | None:
     """Validate a campaign kind; returns the fault type for ``single:*``."""
-    if kind == "iid":
+    if kind in ("iid", "rareevent"):
         return None
     if kind.startswith("single:"):
         value = kind.split(":", 1)[1]
@@ -82,7 +82,9 @@ def parse_kind(kind: str) -> FaultType | None:
         except ValueError:
             valid = ", ".join(f.value for f in FaultType)
             raise ValueError(f"unknown fault type {value!r}; have: {valid}") from None
-    raise ValueError(f"unknown campaign kind {kind!r}; use 'iid' or 'single:<fault>'")
+    raise ValueError(
+        f"unknown campaign kind {kind!r}; use 'iid', 'rareevent' or 'single:<fault>'"
+    )
 
 
 def build_plan(
@@ -91,10 +93,48 @@ def build_plan(
     config: ExactRunConfig,
     chunk_trials: int,
     kind: str = "iid",
+    rareevent: dict[str, Any] | None = None,
 ) -> CampaignPlan:
-    """Derive the chunk set for a campaign config (pure, deterministic)."""
+    """Derive the chunk set for a campaign config (pure, deterministic).
+
+    ``kind="rareevent"`` plans importance-sampling chunks: each payload is
+    a plain-number dict (start trial, size, tilt, defensive mass, table
+    parameters from ``rareevent``) consumed by
+    :func:`repro.reliability.rareevent.rareevent_chunk_tally`.  A zero tilt
+    degenerates to the exact i.i.d. plan, so ``repro campaign --kind
+    rareevent --tilt 0`` is bit-identical to ``--kind iid``.
+    """
     fault_kind = parse_kind(kind)
     chunks: list[ChunkSpec] = []
+    if kind == "rareevent":
+        from ..reliability.rareevent import require_pure_ber
+
+        params = rareevent or {}
+        tilt = float(params.get("tilt", 0.0))
+        if tilt != 0.0:
+            require_pure_ber(rates, context="rareevent campaign")
+            for index, start in enumerate(range(0, config.trials, chunk_trials)):
+                payload = {
+                    "start": start,
+                    "trials": min(chunk_trials, config.trials - start),
+                    "tilt": tilt,
+                    "defensive": float(params.get("defensive", 0.05)),
+                    "samples": int(params.get("samples", 400)),
+                    "table_seed": int(params.get("table_seed", 0)),
+                }
+                chunks.append(
+                    ChunkSpec(
+                        index=index,
+                        seed=config.seed * 7919 + start,
+                        trials=payload["trials"],
+                        payload=payload,
+                    )
+                )
+            return CampaignPlan(
+                kind=kind, scheme=scheme, rates=rates, config=config,
+                chunk_trials=chunk_trials, chunks=tuple(chunks),
+            )
+        # tilt=0: fall through to the exact i.i.d. chunking below
     if fault_kind is None:
         epochs = iid_epochs(scheme, config)
         every = max(1, config.resample_faults_every)
@@ -151,7 +191,14 @@ def execute_chunk(plan_kind: str, scheme: EccScheme, rates: FaultRates,
     if engine not in (ENGINE_BATCHED, ENGINE_SEQUENTIAL):
         raise ValueError(f"unknown engine {engine!r}")
     batched = engine == ENGINE_BATCHED
-    if plan_kind == "iid":
+    if plan_kind == "rareevent" and isinstance(spec.payload, dict):
+        # tilted importance-sampling chunk; the count-level sampler has no
+        # scalar twin, so both engine names run the same (deterministic)
+        # function - degradation still clears transient worker failures.
+        from ..reliability.rareevent import rareevent_chunk_tally
+
+        return rareevent_chunk_tally(scheme, rates, config, spec.payload, backend)
+    if plan_kind in ("iid", "rareevent"):
         fn = iid_chunk_tally if batched else iid_chunk_tally_sequential
         return fn(scheme, rates, spec.payload, backend)
     fn = single_fault_chunk_tally if batched else single_fault_chunk_tally_sequential

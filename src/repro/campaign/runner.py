@@ -46,12 +46,19 @@ class CampaignConfig:
     """
 
     scheme: str = "pair"
-    kind: str = "iid"  # or "single:<fault-type-value>"
+    kind: str = "iid"  # "rareevent" or "single:<fault-type-value>"
     trials: int = 10_000
     seed: int = 0
     resample_faults_every: int = 1
     chunk_trials: int = 256
     rates: FaultRates = field(default_factory=lambda: DEFAULT_RATES)
+    # rare-event (kind="rareevent") proposal parameters.  They change every
+    # importance weight, so they are fingerprinted - but only for rareevent
+    # campaigns, keeping every existing manifest's fingerprint stable.
+    tilt: float = 0.0
+    defensive: float = 0.05
+    rare_samples: int = 400
+    rare_table_seed: int = 0
 
     def __post_init__(self) -> None:
         parse_kind(self.kind)  # fail fast on an invalid kind
@@ -59,10 +66,24 @@ class CampaignConfig:
             raise ValueError("trials must be positive")
         if self.chunk_trials <= 0:
             raise ValueError("chunk_trials must be positive")
+        if not 0.0 <= self.defensive < 1.0:
+            raise ValueError("defensive mass must be in [0, 1)")
+        if self.tilt != self.tilt or self.tilt in (float("inf"), float("-inf")):
+            raise ValueError("tilt must be finite")
+        if self.tilt != 0.0 and self.kind != "rareevent":
+            raise ValueError("tilt is only meaningful for kind='rareevent'")
+
+    def _rareevent_dict(self) -> dict[str, Any]:
+        return {
+            "tilt": self.tilt,
+            "defensive": self.defensive,
+            "samples": self.rare_samples,
+            "table_seed": self.rare_table_seed,
+        }
 
     def fingerprint_dict(self) -> dict[str, Any]:
         """The canonical, JSON-safe view that the manifest fingerprints."""
-        return {
+        out = {
             "plan_version": PLAN_VERSION,
             "scheme": self.scheme,
             "kind": self.kind,
@@ -72,9 +93,13 @@ class CampaignConfig:
             "chunk_trials": self.chunk_trials,
             "rates": asdict(self.rates),
         }
+        if self.kind == "rareevent":
+            out["rareevent"] = self._rareevent_dict()
+        return out
 
     @classmethod
     def from_manifest_dict(cls, raw: dict[str, Any]) -> "CampaignConfig":
+        rare = raw.get("rareevent", {})
         return cls(
             scheme=raw["scheme"],
             kind=raw["kind"],
@@ -83,6 +108,10 @@ class CampaignConfig:
             resample_faults_every=raw["resample_faults_every"],
             chunk_trials=raw["chunk_trials"],
             rates=FaultRates(**raw["rates"]),
+            tilt=float(rare.get("tilt", 0.0)),
+            defensive=float(rare.get("defensive", 0.05)),
+            rare_samples=int(rare.get("samples", 400)),
+            rare_table_seed=int(rare.get("table_seed", 0)),
         )
 
     def build_scheme(self) -> EccScheme:
@@ -104,6 +133,7 @@ class CampaignConfig:
             ),
             self.chunk_trials,
             kind=self.kind,
+            rareevent=self._rareevent_dict() if self.kind == "rareevent" else None,
         )
 
 

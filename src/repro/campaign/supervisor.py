@@ -35,7 +35,7 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import NumericalGuard, guard_tally
+from ..errors import NumericalGuard, guard_tally, guard_weighted
 from ..faults.rates import FaultRates
 from ..galois.backends import active_backend
 from ..obs import metrics as _obs
@@ -173,7 +173,11 @@ def _worker_entry(conn: Any, kind: str, scheme: EccScheme, rates: FaultRates,
             if obs_enabled
             else None
         )
-        conn.send(("ok", (tally.ok, tally.ce, tally.due, tally.sdc), snap))
+        # 4th element: engine-specific tally sidecar (the rare-event
+        # engine's weighted accumulator); None for count-only chunks, so
+        # the frame shape stays backward-compatible.
+        conn.send(("ok", (tally.ok, tally.ce, tally.due, tally.sdc), snap,
+                   tally.extra.get("weighted")))
     except BaseException as exc:  # report, don't propagate: parent classifies
         try:
             conn.send(("error", type(exc).__name__, str(exc)))
@@ -319,13 +323,18 @@ class Supervisor:
         if message[0] == "ok":
             counts = message[1]
             snap = message[2] if len(message) > 2 else None
+            weighted = message[3] if len(message) > 3 else None
             context = f"chunk {job.spec.index} (seed={job.spec.seed})"
             try:
                 guard_tally(counts, expected_total=job.spec.trials, context=context)
+                if weighted is not None:
+                    guard_weighted(weighted, expected_total=job.spec.trials,
+                                   context=context)
             except NumericalGuard as exc:
                 self._handle_failure(job, FAIL_NUMERICAL, str(exc), pending, outcomes)
                 return
-            tally = Tally(ok=counts[0], ce=counts[1], due=counts[2], sdc=counts[3])
+            tally = Tally(ok=counts[0], ce=counts[1], due=counts[2], sdc=counts[3],
+                          extra={"weighted": weighted} if weighted else {})
             outcome = outcomes[job.spec.index]
             outcome.tally = tally
             outcome.attempts = job.attempt + 1

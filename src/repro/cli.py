@@ -111,6 +111,112 @@ def cmd_reliability(args: argparse.Namespace) -> None:
     print(format_series("ber", [f"{b:.0e}" for b in args.bers], series))
 
 
+def _parse_tilt(value: str) -> float | str:
+    if value == "auto":
+        return "auto"
+    try:
+        return float(value)
+    except ValueError:
+        raise SystemExit(
+            f"--tilt must be a number or 'auto', got {value!r}"
+        ) from None
+
+
+def cmd_rareevent(args: argparse.Namespace) -> None:
+    import json as _json
+    import time
+
+    from .faults import DEFAULT_RATES
+    from .reliability import (
+        AccessProfile,
+        RareEventParams,
+        fit_interval,
+        fit_rate,
+        relative_reliability,
+        run_rareevent_iid,
+        run_splitting_iid,
+    )
+
+    schemes = _scheme_lineup(args.schemes)
+    tilt = _parse_tilt(args.tilt)
+    rates = DEFAULT_RATES.pure_ber(args.ber)
+    profile = AccessProfile()
+    _obs_begin(args)
+    rows: dict[str, dict] = {}
+    for scheme in schemes:
+        start = time.perf_counter()
+        if args.estimator == "splitting":
+            split = run_splitting_iid(
+                scheme, rates, effort=args.effort, seed=args.seed,
+                k=args.k, samples=args.samples,
+            )
+            row = split.as_dict()
+            row["p_fail_ci"] = [row.pop("ci_lo"), row.pop("ci_hi")]
+        else:
+            result = run_rareevent_iid(
+                scheme, rates,
+                ExactRunConfig(trials=args.trials, seed=args.seed),
+                RareEventParams(tilt=tilt, defensive=args.defensive,
+                                samples=args.samples),
+                workers=args.workers,
+            )
+            summary = result.as_dict()
+            fail = summary["outcomes"]["fail"]
+            row = {
+                "scheme": scheme.name, "ber": args.ber,
+                "estimator": result.estimator, "tilt": result.tilt,
+                "trials": result.trials,
+                "p_fail": fail["p_ht"], "p_fail_sn": fail["p_sn"],
+                "p_fail_ci": [fail["ci_lo"], fail["ci_hi"]],
+                "wilson": [fail["wilson_lo"], fail["wilson_hi"]],
+                "p_sdc": summary["outcomes"]["sdc"]["p_ht"],
+                "p_due": summary["outcomes"]["due"]["p_ht"],
+                "ess": summary["ess"],
+                "ess_fraction": summary["ess_fraction"],
+            }
+        p_fail = row.get("p_fail", 0.0)
+        row["fit"] = fit_rate(p_fail, profile)
+        row["fit_ci"] = list(fit_interval(tuple(row["p_fail_ci"]), profile))
+        try:
+            ref = build_model(scheme, samples=args.samples,
+                              seed=args.seed).line_probs(args.ber)
+            row["analytic_fail"] = ref["sdc"] + ref["due"]
+        except Exception:  # a scheme without a closed form is still runnable
+            row["analytic_fail"] = None
+        row["wall_s"] = time.perf_counter() - start
+        rows[scheme.name] = row
+    out: dict[str, object] = {
+        "ber": args.ber, "estimator": args.estimator, "schemes": rows,
+    }
+    if "pair" in rows and "xed" in rows:
+        out["xed_over_pair"] = relative_reliability(
+            rows["xed"]["p_fail"], rows["pair"]["p_fail"]
+        )
+    _obs_finish(args, "rareevent")
+    if args.json:
+        print(_json.dumps(out, sort_keys=True))
+        return
+    print(f"rare-event failure probability per 64B read at ber={args.ber:.0e} "
+          f"({args.estimator} estimator):")
+    table = []
+    for name, row in rows.items():
+        lo, hi = row["p_fail_ci"]
+        ref = row["analytic_fail"]
+        table.append({
+            "scheme": name,
+            "p(fail)": f"{row['p_fail']:.3e}",
+            "95% CI": f"[{lo:.2e}, {hi:.2e}]",
+            "FIT": f"{row['fit']:.3e}",
+            "analytic": "-" if ref is None else f"{ref:.3e}",
+            "ESS": f"{row['ess']:.0f}" if "ess" in row else "-",
+            "wall": f"{row['wall_s']:.1f}s",
+        })
+    print(format_table(table))
+    if "xed_over_pair" in out:
+        print(f"\nPAIR is {out['xed_over_pair']:.2e}x more reliable than XED "
+              "on this tail (ratio of per-read failure probabilities)")
+
+
 def cmd_perf(args: argparse.Namespace) -> None:
     schemes = _scheme_lineup(args.schemes)
     workloads = args.workloads or list(WORKLOADS)
@@ -208,6 +314,16 @@ def _print_campaign_result(result) -> None:
           f"due={summary['due']} sdc={summary['sdc']}")
     if summary["trials"]:
         print(f"sdc_rate={summary['sdc_rate']:.3e}  due_rate={summary['due_rate']:.3e}")
+    weighted = result.tally.extra.get("weighted")
+    if weighted is not None:
+        from .reliability import weighted_summary
+
+        est = weighted_summary(weighted)
+        fail = est["outcomes"]["fail"]
+        print(f"weighted (tilt={est['tilt']:.3f}): "
+              f"p_fail={fail['p_ht']:.3e} "
+              f"ci=[{fail['ci_lo']:.2e}, {fail['ci_hi']:.2e}] "
+              f"ess={est['ess']:.0f}/{est['n']}")
     if not summary["complete"]:
         raise SystemExit(1)
 
@@ -227,16 +343,38 @@ def _campaign_chaos(args: argparse.Namespace):
     return ChaosSchedule.parse(args.chaos) if args.chaos else None
 
 
-def cmd_campaign_run(args: argparse.Namespace) -> None:
-    from .campaign import CampaignConfig, start_campaign
-    from .errors import CampaignAborted
+def _campaign_config_from_args(args: argparse.Namespace):
+    from .campaign import CampaignConfig
     from .faults import DEFAULT_RATES
 
-    config = CampaignConfig(
+    rates = DEFAULT_RATES.with_ber(args.ber)
+    tilt = 0.0
+    defensive = 0.05
+    if args.kind == "rareevent":
+        tilt = _parse_tilt(getattr(args, "tilt", "auto"))
+        defensive = getattr(args, "defensive", 0.05)
+        if tilt == "auto":
+            # the fingerprint needs a concrete number: resolve against the
+            # scheme's line law now, exactly as the library engine would
+            from .reliability.rareevent import line_law, resolve_tilt
+
+            scheme = _scheme_lineup([args.scheme])[0]
+            tilt = resolve_tilt("auto", line_law(scheme, args.ber))
+        if tilt != 0.0:
+            # the tilted sampler models the pure weak-cell process
+            rates = DEFAULT_RATES.pure_ber(args.ber)
+    return CampaignConfig(
         scheme=args.scheme, kind=args.kind, trials=args.trials, seed=args.seed,
         resample_faults_every=args.resample_every, chunk_trials=args.chunk_trials,
-        rates=DEFAULT_RATES.with_ber(args.ber),
+        rates=rates, tilt=tilt, defensive=defensive,
     )
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> None:
+    from .campaign import start_campaign
+    from .errors import CampaignAborted
+
+    config = _campaign_config_from_args(args)
     _obs_begin(args)
     try:
         result = start_campaign(args.dir, config, _campaign_policy(args),
@@ -282,14 +420,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> None:
 
 
 def _fleet_campaign_config(args: argparse.Namespace):
-    from .campaign import CampaignConfig
-    from .faults import DEFAULT_RATES
-
-    return CampaignConfig(
-        scheme=args.scheme, kind=args.kind, trials=args.trials, seed=args.seed,
-        resample_faults_every=args.resample_every, chunk_trials=args.chunk_trials,
-        rates=DEFAULT_RATES.with_ber(args.ber),
-    )
+    return _campaign_config_from_args(args)
 
 
 def _fleet_chaos(args: argparse.Namespace):
@@ -518,6 +649,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable observability and export snapshots to "
                             "this .jsonl file")
 
+    p_rare = sub.add_parser(
+        "rareevent",
+        help="deep-tail failure probabilities by importance sampling / "
+             "splitting (resolves the PAIR-vs-XED gap in seconds)",
+    )
+    add_schemes(p_rare)
+    p_rare.add_argument("--ber", type=float, default=1e-4,
+                        help="weak-cell BER (structured faults are off: the "
+                             "rare-event tier models the i.i.d. process)")
+    p_rare.add_argument("--trials", type=int, default=400_000,
+                        help="count-level proposals (importance sampling)")
+    p_rare.add_argument("--tilt", default="auto", metavar="THETA",
+                        help="log-odds tilt of the error rate; 'auto' aims "
+                             "the tilted word at the failure radius; 0 runs "
+                             "the exact decoder-in-the-loop engine")
+    p_rare.add_argument("--defensive", type=float, default=0.05,
+                        help="nominal-arm mixture mass (bounds weights by "
+                             "1/defensive)")
+    p_rare.add_argument("--estimator", choices=("is", "splitting"),
+                        default="is",
+                        help="'is' = tilted importance sampling; 'splitting' "
+                             "= fixed-effort multilevel splitting")
+    p_rare.add_argument("--effort", type=int, default=4096,
+                        help="conditional samples per splitting level")
+    p_rare.add_argument("--k", type=int, default=None,
+                        help="splitting level target (default: the scheme's "
+                             "failure radius)")
+    p_rare.add_argument("--samples", type=int, default=400,
+                        help="decoder-conditional measurement samples")
+    p_rare.add_argument("--seed", type=int, default=0)
+    p_rare.add_argument("--workers", type=int, default=1)
+    p_rare.add_argument("--json", action="store_true",
+                        help="print the full result dict as JSON")
+    add_obs_out(p_rare)
+    p_rare.set_defaults(func=cmd_rareevent)
+
     p_perf = sub.add_parser("perf", help="trace-driven performance (F5)")
     add_schemes(p_perf)
     p_perf.add_argument("--workloads", nargs="*", metavar="NAME",
@@ -560,6 +727,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
 
+    def add_rareevent_config(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tilt", default="auto", metavar="THETA",
+                       help="kind=rareevent only: log-odds tilt ('auto' "
+                            "resolves against the scheme before the "
+                            "fingerprint is taken; 0 = exact engine)")
+        p.add_argument("--defensive", type=float, default=0.05,
+                       help="kind=rareevent only: nominal-arm mixture mass")
+
     def add_policy(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=1)
         p.add_argument("--timeout", type=float, default=300.0,
@@ -577,13 +752,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scheme", default="pair",
                        help="one of: no-ecc iecc-sec xed duo pair")
     p_run.add_argument("--kind", default="iid",
-                       help="'iid' or 'single:<fault>' (e.g. single:row)")
+                       help="'iid', 'rareevent' or 'single:<fault>' "
+                            "(e.g. single:row)")
     p_run.add_argument("--trials", type=int, default=10_000)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--ber", type=float, default=1e-4,
                        help="weak-cell BER applied to the default fault rates")
     p_run.add_argument("--chunk-trials", type=int, default=256)
     p_run.add_argument("--resample-every", type=int, default=1)
+    add_rareevent_config(p_run)
     add_policy(p_run)
     add_obs_out(p_run)
     p_run.set_defaults(func=cmd_campaign_run)
@@ -612,13 +789,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheme", default="pair",
                        help="one of: no-ecc iecc-sec xed duo pair")
         p.add_argument("--kind", default="iid",
-                       help="'iid' or 'single:<fault>' (e.g. single:row)")
+                       help="'iid', 'rareevent' or 'single:<fault>' "
+                            "(e.g. single:row)")
         p.add_argument("--trials", type=int, default=10_000)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--ber", type=float, default=1e-4,
                        help="weak-cell BER applied to the default fault rates")
         p.add_argument("--chunk-trials", type=int, default=256)
         p.add_argument("--resample-every", type=int, default=1)
+        add_rareevent_config(p)
 
     p_serve = fleet_sub.add_parser(
         "serve", help="run the scheduler until the campaign completes"

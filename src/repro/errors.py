@@ -131,3 +131,59 @@ def guard_tally(counts: Sequence[int | float], expected_total: int | None = None
         raise NumericalGuard(
             f"counts sum to {total}, expected {expected_total} trials{where}"
         )
+
+
+def guard_weighted(weighted: dict, expected_total: int | None = None,
+                   context: str = "") -> None:
+    """Validate a weighted (importance-sampled) accumulator before merging.
+
+    ``weighted`` is the ``Tally.extra["weighted"]`` dict a rare-event chunk
+    ships alongside its counts (see :mod:`repro.reliability.stats`): per
+    outcome an integer ``count`` plus log-space weight sums ``log_w`` /
+    ``log_w2`` (``None`` = empty).  Raises :class:`NumericalGuard` on any
+    NaN/inf, negative count, structural damage, or a trial total that does
+    not match ``expected_total``.
+    """
+    where = f" in {context}" if context else ""
+    if not isinstance(weighted, dict) or "outcomes" not in weighted:
+        raise NumericalGuard(f"weighted tally is not an accumulator dict{where}")
+    for key in ("version", "estimator", "tilt", "defensive", "n"):
+        if key not in weighted:
+            raise NumericalGuard(f"weighted tally lacks {key!r}{where}")
+    for key in ("tilt", "defensive"):
+        value = float(weighted[key])
+        if value != value or value in (float("inf"), float("-inf")):
+            raise NumericalGuard(f"weighted tally {key} is not finite{where}")
+    total = 0
+    for name in ("ok", "ce", "due", "sdc"):
+        row = weighted["outcomes"].get(name)
+        if not isinstance(row, dict):
+            raise NumericalGuard(f"weighted tally lacks outcome {name!r}{where}")
+        count = row.get("count")
+        if not isinstance(count, int) or count < 0:
+            raise NumericalGuard(
+                f"weighted {name} count {count!r} is invalid{where}"
+            )
+        for key in ("log_w", "log_w2"):
+            value = row.get(key, "missing")
+            if value is None:
+                if count != 0:
+                    raise NumericalGuard(
+                        f"weighted {name}.{key} empty but count={count}{where}"
+                    )
+                continue
+            if not isinstance(value, (int, float)) or value != value or \
+                    value in (float("inf"), float("-inf")):
+                raise NumericalGuard(
+                    f"weighted {name}.{key} {value!r} is not finite{where}"
+                )
+        total += count
+    if total != int(weighted["n"]):
+        raise NumericalGuard(
+            f"weighted counts sum to {total}, recorded n={weighted['n']}{where}"
+        )
+    if expected_total is not None and total != expected_total:
+        raise NumericalGuard(
+            f"weighted counts sum to {total}, expected {expected_total} "
+            f"trials{where}"
+        )

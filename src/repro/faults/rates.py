@@ -65,6 +65,18 @@ class FaultRates:
         """Copy with a different single-cell BER (the sweep knob)."""
         return replace(self, single_cell_ber=ber)
 
+    def pure_ber(self, ber: float | None = None) -> "FaultRates":
+        """Copy with only the weak-cell process active.
+
+        The rare-event tier (:mod:`repro.reliability.rareevent`) models the
+        i.i.d. single-cell process exclusively and refuses rates with any
+        structured class switched on; this is the canonical way to build
+        the rates it accepts.  ``ber`` defaults to the current BER.
+        """
+        return self.only(FaultType.SINGLE_CELL).with_ber(
+            self.single_cell_ber if ber is None else ber
+        )
+
     def only(self, kind: FaultType) -> "FaultRates":
         """Copy keeping only one fault class active (breakdown experiment)."""
         zeroed = FaultRates(

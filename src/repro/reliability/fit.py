@@ -42,6 +42,19 @@ def fit_rate(p_per_read: float, profile: AccessProfile | None = None) -> float:
     return events_per_hour * 1e9
 
 
+def fit_interval(
+    ci: tuple[float, float], profile: AccessProfile | None = None
+) -> tuple[float, float]:
+    """Map a CI on a per-read probability to a CI on the FIT rate.
+
+    The scaling is linear, so the interval maps endpoint-by-endpoint; this
+    is how the rare-event engine's Wilson/asymptotic bands reach the
+    FIT-style numbers the benches report.
+    """
+    lo, hi = ci
+    return (fit_rate(max(lo, 0.0), profile), fit_rate(hi, profile))
+
+
 def relative_reliability(p_baseline: float, p_scheme: float) -> float:
     """How many times *more reliable* the scheme is than the baseline.
 

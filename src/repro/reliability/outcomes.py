@@ -64,11 +64,24 @@ class Tally:
         return (self.due + self.sdc) / self.total if self.total else 0.0
 
     def merge(self, other: "Tally") -> "Tally":
+        extra: dict = {}
+        if "weighted" in self.extra or "weighted" in other.extra:
+            # importance-sampled accumulators (see reliability.stats) ride
+            # along with the counts; merging in fixed outcome order keeps
+            # the float log-sums deterministic across resume/workers.
+            from .stats import merge_weighted
+
+            merged = merge_weighted(
+                self.extra.get("weighted"), other.extra.get("weighted")
+            )
+            if merged is not None:
+                extra["weighted"] = merged
         return Tally(
             ok=self.ok + other.ok,
             ce=self.ce + other.ce,
             due=self.due + other.due,
             sdc=self.sdc + other.sdc,
+            extra=extra,
         )
 
     def as_dict(self) -> dict[str, float]:

@@ -138,12 +138,21 @@ def evaluate_system(
     seed: int = 0,
     workers: int = 1,
     backend: str | None = None,
+    estimator: str = "analytic",
+    rare_trials: int = 200_000,
+    rare_tilt: float | str = "auto",
 ) -> SystemReliability:
     """Expected SDC/DUE events per device-year under the composite model.
 
     ``backend`` selects the GF kernel backend for the decode engine
     (``None`` inherits the active selection, e.g. ``REPRO_GF_BACKEND``);
     it is a throughput knob only - results are bit-identical across tiers.
+
+    ``estimator`` picks the source of the weak-cell term: ``"analytic"``
+    (default) uses the closed-form models; ``"rareevent"`` runs the tilted
+    importance sampler (:mod:`repro.reliability.rareevent`) for
+    ``rare_trials`` count-level trials at tilt ``rare_tilt`` - a
+    measurement with a CI rather than a model, at a few seconds' cost.
     """
     profile = profile or AccessProfile()
     reads_per_year = profile.reads_per_device_year
@@ -154,8 +163,27 @@ def evaluate_system(
     p_due: dict[str, float] = {}
 
     # weak cells: i.i.d. across reads, so P(>=1) = 1 - exp(-E[events])
-    model = build_model(scheme, samples=samples, seed=seed)
-    cell = model.line_probs(rates.single_cell_ber)
+    if estimator == "rareevent":
+        from .rareevent import RareEventParams, run_rareevent_iid
+
+        rare = run_rareevent_iid(
+            scheme,
+            rates.pure_ber(),
+            ExactRunConfig(trials=rare_trials, seed=seed),
+            RareEventParams(tilt=rare_tilt, samples=samples,
+                            table_seed=seed),
+            workers=workers,
+            backend=backend,
+        )
+        outcomes = rare.estimates()["outcomes"]
+        cell = {"sdc": outcomes["sdc"]["p_ht"], "due": outcomes["due"]["p_ht"]}
+    elif estimator == "analytic":
+        model = build_model(scheme, samples=samples, seed=seed)
+        cell = model.line_probs(rates.single_cell_ber)
+    else:
+        raise ValueError(
+            f"unknown estimator {estimator!r}; use 'analytic' or 'rareevent'"
+        )
     sdc["single-cell"] = cell["sdc"] * reads_per_year
     due["single-cell"] = cell["due"] * reads_per_year
     p_sdc["single-cell"] = -math.expm1(-sdc["single-cell"])

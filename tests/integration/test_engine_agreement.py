@@ -10,8 +10,11 @@ import pytest
 from repro.faults import FaultRates
 from repro.reliability import (
     ExactRunConfig,
+    RareEventParams,
     run_fast,
     run_iid,
+    run_rareevent_iid,
+    run_splitting_iid,
     wilson_interval,
 )
 from repro.schemes import Duo, PairScheme
@@ -44,3 +47,45 @@ def test_three_engines_agree_on_due(scheme_factory, ber, get_scheme, get_model):
     assert lo - slack <= analytic <= hi + slack
     # and fast agrees tightly with analytic (same tables, sampled mixing)
     assert fast.due_rate == pytest.approx(analytic, rel=0.15)
+
+
+@pytest.mark.parametrize(
+    "scheme_factory,ber",
+    [(PairScheme, 3e-3), (Duo, 1e-2)],
+    ids=["pair", "duo"],
+)
+def test_rareevent_engine_joins_the_agreement(
+    scheme_factory, ber, get_scheme, get_model
+):
+    """The tilted estimator must agree with the other engines where they
+    all have statistics - not only in the deep tail it was built for."""
+    scheme = get_scheme(scheme_factory)
+    exact_trials = 300
+    exact = run_iid(
+        scheme, iid_rates(ber), ExactRunConfig(trials=exact_trials, seed=21)
+    )
+    analytic = get_model(scheme, 300, seed=21).line_probs(ber)
+    rare = run_rareevent_iid(
+        scheme, iid_rates(ber), ExactRunConfig(trials=60_000, seed=21),
+        RareEventParams(tilt="auto", samples=300, table_seed=21),
+    )
+    fail_est = rare.estimates()["outcomes"]["fail"]
+
+    # inside the (slightly widened) exact engine's confidence band
+    lo, hi = wilson_interval(exact.due + exact.sdc, exact_trials)
+    slack = 0.03
+    assert lo - slack <= fail_est["p_ht"] <= hi + slack
+    # and tightly on the analytic closed form (same conditional tables)
+    assert fail_est["p_ht"] == pytest.approx(
+        analytic["due"] + analytic["sdc"], rel=0.15
+    )
+
+
+def test_splitting_engine_joins_the_agreement(get_scheme, get_model):
+    scheme = get_scheme(PairScheme)
+    ber = 3e-3
+    analytic = get_model(scheme, 300, seed=21).line_probs(ber)
+    split = run_splitting_iid(scheme, iid_rates(ber), effort=4_096, seed=21,
+                              samples=300, table_seed=21)
+    lo, hi = split.interval(split.p_fail, z=3.0)
+    assert lo <= analytic["due"] + analytic["sdc"] <= hi
