@@ -13,6 +13,7 @@ each of those properties under test.  See DESIGN.md §6h and
 
 from .agent import AgentKilled, AgentPolicy, AgentSummary, FleetAgent, run_agent
 from .cache import CACHE_VERSION, ResultCache
+from .events import EVENTS_NAME, EventLog, read_events
 from .leases import Lease, LeaseTable
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -29,15 +30,20 @@ from .scheduler import (
     fleet_status,
     serve_campaign,
 )
+from .telemetry import WATCH_KIND, AgentHealth, FleetTelemetry
 
 __all__ = [
+    "AgentHealth",
     "AgentKilled",
     "AgentPolicy",
     "AgentSummary",
     "CACHE_VERSION",
+    "EVENTS_NAME",
+    "EventLog",
     "FleetAgent",
     "FleetPolicy",
     "FleetScheduler",
+    "FleetTelemetry",
     "FrameLink",
     "Lease",
     "LeaseTable",
@@ -45,8 +51,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ResultCache",
     "SIDECAR_NAME",
+    "WATCH_KIND",
     "encode_frame",
     "fleet_status",
+    "read_events",
     "read_frame",
     "run_agent",
     "serve_campaign",

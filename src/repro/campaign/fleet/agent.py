@@ -42,6 +42,7 @@ from typing import Any
 from ...errors import AgentFailure
 from ...obs import metrics as _obs
 from ...obs import trace as _obs_trace
+from ...obs.stream import DeltaEncoder, frame_is_empty
 from ..chaos import FleetChaos
 from ..plan import CampaignPlan, execute_chunk
 from ..runner import CampaignConfig
@@ -86,7 +87,8 @@ class FleetAgent:
                  chaos: FleetChaos | None = None,
                  policy: AgentPolicy | None = None,
                  backend: str | None = None,
-                 collect_obs: bool = False):
+                 collect_obs: bool = False,
+                 stream: bool = False):
         if directory is None and (host is None or port is None):
             raise AgentFailure(
                 "agent needs an endpoint: either host+port or a campaign "
@@ -99,8 +101,11 @@ class FleetAgent:
         self.chaos = chaos
         self.policy = policy or AgentPolicy()
         self.backend = backend
-        self.collect_obs = collect_obs
+        # streaming needs something to stream: it implies per-chunk obs
+        self.collect_obs = collect_obs or stream
+        self.stream = stream
         self.summary = AgentSummary(agent=name)
+        self._encoder = DeltaEncoder(name) if stream else None
         self._heartbeat_interval = self.policy.heartbeat_interval
         self._nth_lease = 0
         self._plan: CampaignPlan | None = None
@@ -259,6 +264,18 @@ class FleetAgent:
                 await link.send({
                     "type": "heartbeat", "agent": self.name, "lease_id": lease_id,
                 })
+                if self._encoder is not None:
+                    # telemetry piggybacks on the heartbeat cadence: one
+                    # advisory delta frame right behind each heartbeat, on
+                    # the same chaos-armed link (drop/dup/reorder may eat it)
+                    delta = self._encoder.delta()
+                    if not frame_is_empty(delta):
+                        await link.send({
+                            "type": "telemetry",
+                            "agent": self.name,
+                            "lease_id": lease_id,
+                            "delta": delta,
+                        })
         except (ConnectionError, OSError):
             return  # the lease loop will notice the dead link and reconnect
 
@@ -271,28 +288,36 @@ class FleetAgent:
         plan = self._plan
         loop = asyncio.get_running_loop()
 
+        trace = int(lease.get("trace", 0))
+
         def compute() -> tuple:
             if self.collect_obs:
                 _obs.reset()
                 _obs_trace.reset()
                 _obs.enable()
-            tally = execute_chunk(
-                plan.kind, plan.scheme, plan.rates, plan.config, spec,
-                engine, self.backend,
-            )
-            snap = (
-                _obs.snapshot(f"agent-{self.name}-chunk-{chunk}")
-                if self.collect_obs
-                else None
-            )
+            with _obs_trace.span(
+                "agent.chunk", trace_id=trace,
+                agent=self.name, chunk=chunk, engine=engine,
+            ) as rec:
+                tally = execute_chunk(
+                    plan.kind, plan.scheme, plan.rates, plan.config, spec,
+                    engine, self.backend,
+                )
+            if self.collect_obs:
+                snap = _obs.snapshot(f"agent-{self.name}-chunk-{chunk}")
+                snap["source"] = self.name  # per-agent sections in obs report
+            else:
+                snap = None
             return (
                 (tally.ok, tally.ce, tally.due, tally.sdc),
                 snap,
+                rec.as_dict() if rec is not None else None,
                 tally.extra.get("weighted"),
             )
 
         try:
-            counts, snap, weighted = await loop.run_in_executor(None, compute)
+            counts, snap, span_dict, weighted = await loop.run_in_executor(
+                None, compute)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
@@ -317,6 +342,10 @@ class FleetAgent:
         }
         if snap is not None:
             frame["obs"] = snap
+        if span_dict is not None:
+            # the agent-side chunk span; the scheduler journals it beside
+            # its own campaign.chunk span under the shared trace id
+            frame["span"] = span_dict
         if weighted is not None:
             # rare-event weighted accumulator rides the result frame; absent
             # for count-only chunks so the wire format stays compatible.
@@ -332,10 +361,11 @@ def run_agent(name: str, host: str | None = None, port: int | None = None,
               chaos: FleetChaos | None = None,
               policy: AgentPolicy | None = None,
               backend: str | None = None,
-              collect_obs: bool = False) -> AgentSummary:
+              collect_obs: bool = False,
+              stream: bool = False) -> AgentSummary:
     """Synchronous entry point: run one agent to completion."""
     agent = FleetAgent(
         name, host=host, port=port, directory=directory, chaos=chaos,
-        policy=policy, backend=backend, collect_obs=collect_obs,
+        policy=policy, backend=backend, collect_obs=collect_obs, stream=stream,
     )
     return asyncio.run(agent.run())

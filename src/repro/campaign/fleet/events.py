@@ -1,0 +1,87 @@
+"""Crash-safe JSONL event log for fleet campaigns.
+
+One ``events.jsonl`` per campaign directory, written by the scheduler:
+every line is one self-describing JSON object with an ``event`` kind, a
+wall-clock stamp, and - for chunk lifecycle events - the ``trace_id`` that
+correlates the scheduler's ``fleet.chunk`` span with the agent-side
+``agent.chunk`` span that computed it (see
+:func:`repro.obs.trace.stable_trace_id`; the id is a pure function of the
+config fingerprint, chunk index and attempt, so both sides derive the same
+id without coordination).
+
+Crash safety here is *append + flush per line* rather than the manifest's
+atomic whole-file rewrite: an event stream is write-once and append-only,
+so the worst a SIGKILL can leave is one torn final line, which
+:func:`read_events` skips by design.  That makes the log safe to tail
+while the scheduler runs - ``python -m repro obs top --in events.jsonl``
+replays it - at a per-event cost of one write+flush instead of rewriting
+history.
+
+The log is operational telemetry (REPRO103 does not apply to the fleet
+layer): stamps are wall-clock for operator legibility and never feed any
+engine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+EVENTS_NAME = "events.jsonl"
+
+
+class EventLog:
+    """Append-only JSONL writer; one instance per scheduler lifetime."""
+
+    def __init__(self, path: str | Path, enabled: bool = True):
+        self.path = Path(path)
+        self.enabled = enabled
+        self._fh: TextIO | None = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line and flush it to the OS immediately."""
+        if not self.enabled:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        record = {"event": event, "t": time.time(), **fields}
+        try:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):  # disk full / closed fh: telemetry only
+            pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            self._fh = None
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse an event log, silently skipping a torn (crash-truncated) tail.
+
+    A malformed line that is *not* the last one is a real corruption and
+    raises; only the final line gets the torn-write benefit of the doubt.
+    """
+    path = Path(path)
+    out: list[dict[str, Any]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn final line from a crash mid-append
+            raise ValueError(f"{path}:{lineno}: corrupt event line") from exc
+        if isinstance(record, dict):
+            out.append(record)
+    return out

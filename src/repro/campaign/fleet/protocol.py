@@ -13,12 +13,20 @@ dispatch sites so that discipline is machine-enforced.
 Frame types
 -----------
 agent -> scheduler: ``hello`` (register), ``request`` (ask for a lease),
-``heartbeat`` (extend a lease), ``result`` (a chunk tally), ``error``
-(a structured engine failure), ``bye`` (clean disconnect).
+``heartbeat`` (extend a lease), ``telemetry`` (an advisory obs delta
+piggybacked on the heartbeat cadence; see :mod:`repro.obs.stream`),
+``result`` (a chunk tally), ``error`` (a structured engine failure),
+``bye`` (clean disconnect).
 
 scheduler -> agent: ``welcome`` (config + operational parameters),
 ``reject`` (fingerprint/version refusal), ``lease`` (a work grant),
 ``idle`` (nothing leasable right now), ``done`` (campaign complete).
+
+``telemetry`` rides the existing version: unknown frame types are ignored
+by both peers, so an old scheduler paired with a streaming agent simply
+drops the deltas - telemetry is advisory and lossy by design (the
+authoritative totals travel on ``result`` frames), which is also why the
+chaos drop/dup/reorder schedule may eat them freely.
 
 :class:`FrameLink` wraps one side of a connection and applies a
 :class:`~repro.campaign.chaos.FleetChaos` schedule to *outbound* frames -
@@ -71,6 +79,17 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
         header = await reader.readexactly(_LEN.size)
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
+    return await read_frame_body(reader, header)
+
+
+async def read_frame_body(reader: asyncio.StreamReader,
+                          header: bytes) -> dict[str, Any] | None:
+    """Finish reading a frame whose 4-byte length prefix was already read.
+
+    Split out of :func:`read_frame` so the scheduler can *sniff* the first
+    bytes of a new connection (an HTTP ``GET`` vs a frame length prefix)
+    and still fall through to normal frame handling.
+    """
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise FleetProtocolError(

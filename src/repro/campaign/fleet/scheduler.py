@@ -59,6 +59,8 @@ from ...errors import (
 from ...galois.backends import active_backend
 from ...obs import metrics as _obs
 from ...obs import trace as _obs_trace
+from ...obs.openmetrics import render_openmetrics
+from ...obs.trace import stable_trace_id
 from ...reliability.outcomes import Tally
 from ...utils.atomic_io import atomic_write_json
 from ..chaos import FleetChaos
@@ -73,8 +75,10 @@ from ..supervisor import (
     SupervisorPolicy,
 )
 from .cache import ResultCache
+from .events import EVENTS_NAME, EventLog
 from .leases import LeaseTable
-from .protocol import PROTOCOL_VERSION, FrameLink
+from .protocol import PROTOCOL_VERSION, FrameLink, read_frame_body
+from .telemetry import FleetTelemetry
 
 #: the scheduler's endpoint/lease sidecar, next to manifest.json.
 SIDECAR_NAME = "fleet.json"
@@ -108,6 +112,7 @@ class FleetPolicy:
     idle_retry: float = 0.2  # what idle agents are told to wait
     drain_grace: float = 1.0  # keep answering 'done' this long after finish
     manifest_save_every: int = 4  # manifest debounce (flushed on every exit)
+    event_log: bool = True  # append events.jsonl beside the manifest
 
 
 @dataclass
@@ -157,6 +162,10 @@ class FleetScheduler:
             self._chunk_state[index] = _ChunkState()
         self.duplicates_dropped = 0
         self.late_results = 0
+        self.telemetry = FleetTelemetry()
+        self.events = EventLog(
+            self.directory / EVENTS_NAME, enabled=self.policy.event_log
+        )
         self.agents_seen: set[str] = set()
         self._live_agents: dict[str, FrameLink] = {}
         self._done = asyncio.Event()
@@ -187,6 +196,14 @@ class FleetScheduler:
             self._handle_conn, host=self.policy.host, port=self.policy.port
         )
         self._write_sidecar("serving")
+        endpoint = self.endpoint
+        self.events.emit(
+            "serve_start", fingerprint=self.manifest.fingerprint,
+            chunks_done=len(self.manifest.chunks),
+            total_chunks=self.manifest.total_chunks,
+            host=endpoint[0] if endpoint else None,
+            port=endpoint[1] if endpoint else None,
+        )
         watchdog = asyncio.ensure_future(self._watchdog())
         try:
             await self._done.wait()
@@ -200,6 +217,12 @@ class FleetScheduler:
             for link in list(self._live_agents.values()):
                 await link.close()
             self.manifest.flush()
+            self.events.emit(
+                "serve_exit", chunks_done=len(self.manifest.chunks),
+                crashed=self._crashed, degraded=self._degraded,
+                fatal=type(self._fatal).__name__ if self._fatal else None,
+            )
+            self.events.close()
         if self._fatal is not None:
             self._write_sidecar("failed")
             raise self._fatal
@@ -224,14 +247,24 @@ class FleetScheduler:
 
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
+        # sniff the first 4 bytes: an HTTP request line ("GET "/"HEAD")
+        # gets the exposition endpoints on the same port every agent dials;
+        # anything else is a frame length prefix and takes the normal path
+        try:
+            sniff = await reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        if sniff in (b"GET ", b"HEAD"):
+            await self._serve_http(reader, writer, sniff)
+            return
         link = FrameLink(reader, writer)
         agent: str | None = None
         try:
-            while True:
-                frame = await link.recv()
-                if frame is None:
-                    break
+            frame = await read_frame_body(reader, sniff)
+            while frame is not None:
                 agent = await self._dispatch(link, frame, agent)
+                frame = await link.recv()
         except ConnectionError:
             pass
         finally:
@@ -248,10 +281,15 @@ class FleetScheduler:
             return await self._on_hello(link, frame, agent)
         if agent is None:
             return None  # ignore anything before a successful hello
+        self.telemetry.saw(agent, time.monotonic())
         if kind == "request":
             await self._on_request(link, agent)
         elif kind == "heartbeat":
             self.leases.heartbeat(str(frame.get("lease_id", "")))
+        elif kind == "telemetry":
+            # advisory obs delta riding the heartbeat cadence; duplicates
+            # and reordered frames are resolved by the merger's seq ledger
+            self.telemetry.ingest(agent, frame.get("delta"), time.monotonic())
         elif kind == "result":
             self._on_result(agent, frame)
         elif kind == "error":
@@ -291,7 +329,10 @@ class FleetScheduler:
             })
             return agent
         self._live_agents[name] = link
+        if name not in self.agents_seen:
+            self.events.emit("agent_join", agent=name)
         self.agents_seen.add(name)
+        self.telemetry.saw(name, time.monotonic())
         await link.send({
             "type": "welcome",
             "protocol": PROTOCOL_VERSION,
@@ -314,6 +355,11 @@ class FleetScheduler:
             lease = self.leases.grant(chunk, agent, state.attempt, state.engine, now)
             if _obs.enabled():
                 _C_LEASES.add(1)
+            self.events.emit(
+                "lease_grant", agent=agent, chunk=chunk,
+                lease_id=lease.lease_id, attempt=lease.attempt,
+                trace_id=self._trace_id(chunk, lease.attempt),
+            )
             await link.send(self._lease_frame(lease))
             return
         # nothing pending: steal a straggler if one qualifies, else idle
@@ -330,12 +376,20 @@ class FleetScheduler:
             if _obs.enabled():
                 _C_LEASES.add(1)
                 _C_STEALS.add(1)
+            self.events.emit(
+                "lease_steal", agent=agent, chunk=lease.chunk,
+                lease_id=lease.lease_id, victim=victim.lease_id,
+                trace_id=self._trace_id(lease.chunk, lease.attempt),
+            )
             await link.send(self._lease_frame(lease))
             return
         await link.send({"type": "idle", "retry_s": self.policy.idle_retry})
 
-    @staticmethod
-    def _lease_frame(lease: Any) -> dict[str, Any]:
+    def _trace_id(self, chunk: int, attempt: int) -> int:
+        """Deterministic per-execution trace id both sides can derive."""
+        return stable_trace_id(self.manifest.fingerprint, chunk, attempt)
+
+    def _lease_frame(self, lease: Any) -> dict[str, Any]:
         return {
             "type": "lease",
             "lease_id": lease.lease_id,
@@ -343,6 +397,9 @@ class FleetScheduler:
             "attempt": lease.attempt,
             "engine": lease.engine,
             "stolen": lease.is_steal,
+            # the trace id joins the scheduler's fleet.chunk span to the
+            # agent's agent.chunk span for this exact (chunk, attempt)
+            "trace": self._trace_id(lease.chunk, lease.attempt),
         }
 
     # -- result / failure handling --------------------------------------------
@@ -391,19 +448,29 @@ class FleetScheduler:
             self._requeue_failure(chunk, attempt, FAIL_NUMERICAL, str(exc))
             return
         engine = str(frame.get("engine", ENGINE_BATCHED))
+        now = time.monotonic()
+        duration = now - lease.issued if lease is not None else 0.0
+        trace = self._trace_id(chunk, attempt)
+        snap = frame.get("obs")
         span_dict = None
         if _obs.enabled():
-            snap = frame.get("obs")
             if snap:
                 _obs.absorb(snap)
-            duration = (
-                time.monotonic() - lease.issued if lease is not None else 0.0
-            )
             rec = _obs_trace.record_span(
-                "fleet.chunk", duration, chunk=chunk, agent=agent,
-                attempt=attempt + 1, engine=engine, trials=spec.trials,
+                "fleet.chunk", duration, trace_id=trace, chunk=chunk,
+                agent=agent, attempt=attempt + 1, engine=engine,
+                trials=spec.trials,
             )
             span_dict = rec.as_dict() if rec is not None else None
+        if snap and snap.get("source"):
+            # per-agent obs section: which agent burned which cycles
+            self.manifest.record_agent_obs(agent, dict(snap))
+        self.telemetry.chunk_done(agent, duration, now)
+        self.events.emit(
+            "chunk_commit", agent=agent, chunk=chunk, attempt=attempt + 1,
+            engine=engine, counts=list(counts), duration_s=round(duration, 6),
+            trace_id=trace, agent_span=frame.get("span"),
+        )
         tally = Tally(ok=int(counts[0]), ce=int(counts[1]),
                       due=int(counts[2]), sdc=int(counts[3]),
                       extra={"weighted": weighted} if weighted else {})
@@ -468,12 +535,20 @@ class FleetScheduler:
             self.manifest.quarantine_chunk(
                 chunk, kind, message, attempts_done, spec.seed
             )
+            self.events.emit(
+                "chunk_quarantine", chunk=chunk, kind=kind,
+                attempts=attempts_done,
+            )
             if self._campaign_finished():
                 self._done.set()
             return
         state.attempt = attempts_done
         if kind in _DEGRADE_ON:
             state.engine = ENGINE_SEQUENTIAL
+        self.events.emit(
+            "chunk_requeue", chunk=chunk, kind=kind, attempt=attempts_done,
+            engine=state.engine,
+        )
         delay = min(self.policy.backoff_cap, self.policy.backoff * 2**attempt)
         jitter = 0.5 + float(self._jitter_rng.random())  # in [0.5, 1.5)
         self._pending.add(chunk)
@@ -507,6 +582,10 @@ class FleetScheduler:
             for lease in self.leases.expire_due(now):
                 if _obs.enabled():
                     _C_EXPIRED.add(1)
+                self.events.emit(
+                    "lease_expire", agent=lease.agent, chunk=lease.chunk,
+                    lease_id=lease.lease_id,
+                )
                 self._requeue_failure(
                     lease.chunk, lease.attempt, FAIL_TIMEOUT,
                     f"lease {lease.lease_id} on chunk {lease.chunk} expired "
@@ -528,6 +607,9 @@ class FleetScheduler:
                 return
             if now - last_journal > 10 * self.policy.tick:
                 self._write_sidecar("serving")
+                # a periodic watch event makes the JSONL log replayable by
+                # `obs top --in events.jsonl` without a live endpoint
+                self.events.emit("watch", payload=self.watch_payload("serving"))
                 last_journal = now
 
     # -- degradation -----------------------------------------------------------
@@ -568,6 +650,19 @@ class FleetScheduler:
             quarantined=dict(self.manifest.quarantined),
         )
 
+    def watch_payload(self, state: str) -> dict[str, Any]:
+        """The live-view snapshot: health signals + merged stream metrics."""
+        return self.telemetry.watch_snapshot(
+            state=state,
+            chunks_done=len(self.manifest.chunks),
+            total_chunks=self.manifest.total_chunks,
+            quarantined=len(
+                set(self.manifest.quarantined) - set(self.manifest.chunks)
+            ),
+            leases=self.leases.journal(),
+            now=time.monotonic(),
+        )
+
     def _write_sidecar(self, state: str) -> None:
         endpoint = self.endpoint
         atomic_write_json(self.directory / SIDECAR_NAME, {
@@ -582,7 +677,81 @@ class FleetScheduler:
             "duplicates_dropped": self.duplicates_dropped,
             "late_results": self.late_results,
             "leases": self.leases.journal(),
+            # the watch payload rides the sidecar so `fleet status --watch`
+            # and `obs top --dir` work cross-process without the endpoint
+            "telemetry": self.watch_payload(state),
         })
+
+    # -- exposition (HTTP on the frame port) ----------------------------------
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter, sniff: bytes) -> None:
+        """Answer one HTTP/1.x request on the frame port, then close.
+
+        ``GET /metrics`` serves OpenMetrics text (merged stream metrics,
+        the scheduler's own obs registry when enabled, and labelled
+        per-agent health families, terminated by ``# EOF``); ``GET
+        /status`` serves the watch payload as JSON.  One request per
+        connection - a scrape is cheap and statelessness keeps this
+        handler trivially safe next to the frame protocol.
+        """
+        try:
+            raw = sniff + await asyncio.wait_for(
+                reader.readuntil(b"\r\n"), timeout=5.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, ConnectionError):
+            writer.close()
+            return
+        parts = raw.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        head_only = sniff == b"HEAD"
+        try:  # drain request headers up to the blank line (best effort)
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n"), timeout=1.0
+                )
+                if line in (b"\r\n", b"\n"):
+                    break
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, ConnectionError):
+            pass
+        if path.split("?", 1)[0] == "/metrics":
+            now = time.monotonic()
+            merged = self.telemetry.merger.snapshot(label="fleet-stream")
+            own = _obs.snapshot(label="scheduler") if _obs.enabled() else {}
+            for section in ("counters", "gauges", "histograms"):
+                combined = dict(own.get(section, {}))
+                combined.update(merged.get(section, {}))
+                merged[section] = combined
+            body = render_openmetrics(
+                merged, families=self.telemetry.openmetrics_families(now)
+            ).encode("utf-8")
+            ctype = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+            status = "200 OK"
+        elif path.split("?", 1)[0] == "/status":
+            body = json.dumps(
+                self.watch_payload("serving"), sort_keys=True
+            ).encode("utf-8")
+            ctype = "application/json"
+            status = "200 OK"
+        else:
+            body = b"not found; try /metrics or /status\n"
+            ctype = "text/plain"
+            status = "404 Not Found"
+        try:
+            writer.write(
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n".encode("latin-1")
+                + (b"" if head_only else body)
+            )
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
 
 
 def serve_campaign(directory: str | Path, config: CampaignConfig | None = None,

@@ -228,6 +228,21 @@ class Manifest:
         self.obs["metrics"] = snapshot
         self.save()
 
+    def record_agent_obs(self, agent: str, snapshot: dict[str, Any]) -> None:
+        """Fold one agent's per-chunk metrics snapshot into its own section.
+
+        Arrives once per committed fleet chunk, so the save is debounced
+        like :meth:`record_chunk` rather than flushed like the campaign-wide
+        merge above.
+        """
+        agents = self.obs.setdefault("agents", {})
+        prior = agents.get(agent)
+        if prior is not None:
+            snapshot = merge_snapshots([prior, snapshot], label=agent)
+        snapshot["source"] = agent
+        agents[agent] = snapshot
+        self._maybe_save()
+
     # -- queries --------------------------------------------------------------
 
     def check_fingerprint(self, config: dict[str, Any]) -> None:
@@ -246,6 +261,8 @@ class Manifest:
         metrics_snap = self.obs.get("metrics")
         if metrics_snap:
             snaps.append(metrics_snap)
+        for agent in sorted(self.obs.get("agents", {})):
+            snaps.append(self.obs["agents"][agent])
         spans = self.obs.get("spans", {})
         if spans:
             ordered = [spans[k] for k in sorted(spans, key=int)]

@@ -41,18 +41,27 @@ OBS_INTO_RESULT = Rule(
 #: second path component of modules the rule applies to (the hot layers).
 _HOT_LAYERS = frozenset({"galois", "codes", "reliability", "schemes", "perf"})
 
-#: obs-module calls whose return value carries measurement data.
+#: obs-module calls whose return value carries measurement data.  The
+#: streaming layer (DESIGN.md 6j) extends the family: encoded deltas,
+#: merged stream snapshots and stream statistics are all measurement
+#: reads just like a registry snapshot.
 _VALUE_READ_CALLS = frozenset(
-    {"snapshot", "spans_snapshot", "summarize", "read_snapshots", "record_span", "span"}
+    {"snapshot", "spans_snapshot", "summarize", "read_snapshots",
+     "record_span", "span", "delta", "counter_total", "series", "stats",
+     "watch_snapshot"}
 )
 
 #: obs handle constructors; reads *on the handle* are the taint source.
-_HANDLE_CTORS = frozenset({"counter", "gauge", "histogram"})
+_HANDLE_CTORS = frozenset(
+    {"counter", "gauge", "histogram", "DeltaEncoder", "StreamMerger",
+     "SeriesRing"}
+)
 
 #: attribute/method reads on obs handles and span records that yield data.
 _HANDLE_READS = frozenset(
     {"value", "values", "count", "total", "sum", "mean", "max", "min",
-     "duration", "as_dict", "rate", "buckets"}
+     "duration", "as_dict", "rate", "buckets", "delta", "snapshot",
+     "counter_total", "series", "stats", "points", "last", "dropped"}
 )
 
 #: tally sinks: constructing or guarding a tally from tainted values.
@@ -153,7 +162,13 @@ def _is_handle_ctor(expr: ast.expr, aliases: set[str]) -> bool:
     if not isinstance(expr, ast.Call):
         return False
     chain = attr_chain(expr.func)
-    return len(chain) >= 2 and chain[0] in aliases and chain[-1] in _HANDLE_CTORS
+    if len(chain) >= 2 and chain[0] in aliases and chain[-1] in _HANDLE_CTORS:
+        return True
+    # direct-import form: ``from repro.obs import DeltaEncoder`` then
+    # ``DeltaEncoder(...)`` - the local name is itself the obs alias.
+    return (
+        len(chain) == 1 and chain[0] in aliases and chain[0] in _HANDLE_CTORS
+    )
 
 
 def _is_obs_read(expr: ast.expr, aliases: set[str], handles: set[str]) -> bool:

@@ -13,9 +13,12 @@ Twelve subcommands expose the library's engines without writing any code:
   (``run`` / ``resume`` / ``status``) with checkpointing and retry;
 * ``fleet``                   - the same campaigns sharded across worker
   agents over a socket protocol (``serve`` / ``worker`` / ``submit`` /
-  ``status``) with leases, work-stealing and crash-safe restart;
+  ``status``) with leases, work-stealing, crash-safe restart, streamed
+  live telemetry (``worker --stream``, ``status --watch``) and an
+  OpenMetrics ``/metrics`` + JSON ``/status`` endpoint on the frame port;
 * ``obs``                     - observability: merge and render metric/span
-  exports (``report``), from an ``obs.jsonl`` or a campaign directory;
+  exports (``report``), from an ``obs.jsonl`` or a campaign directory,
+  plus a live ANSI fleet dashboard (``top``);
 * ``backends``                - GF(2^m) kernel backend registry: which tiers
   exist, which are available here, which one is active
   (``REPRO_GF_BACKEND``);
@@ -42,8 +45,10 @@ Examples::
     python -m repro campaign resume --dir runs/pair-tail
     python -m repro campaign status --dir runs/pair-tail --json
     python -m repro fleet serve --dir runs/pair-tail --scheme pair --trials 1000000
-    python -m repro fleet worker --name w0 --dir runs/pair-tail
+    python -m repro fleet worker --name w0 --dir runs/pair-tail --stream
     python -m repro fleet status --dir runs/pair-tail --json
+    python -m repro fleet status --dir runs/pair-tail --watch
+    python -m repro obs top --dir runs/pair-tail
     python -m repro obs report --in runs/pair-tail
 """
 
@@ -439,6 +444,7 @@ def cmd_fleet_serve(args: argparse.Namespace) -> None:
         heartbeat_interval=args.heartbeat, retries=args.retries,
         backoff=args.backoff, steal_copies=args.steal_copies,
         degrade_after=args.degrade_after,
+        event_log=not args.no_event_log,
     )
     _obs_begin(args)
     try:
@@ -472,7 +478,7 @@ def cmd_fleet_worker(args: argparse.Namespace) -> None:
             args.name, host=host, port=port, directory=args.dir,
             chaos=_fleet_chaos(args),
             policy=AgentPolicy(connect_timeout=args.connect_timeout),
-            collect_obs=obs_on,
+            collect_obs=obs_on, stream=args.stream,
         )
     except AgentKilled as exc:
         print(f"worker killed by chaos: {exc}")
@@ -511,9 +517,50 @@ def cmd_fleet_submit(args: argparse.Namespace) -> None:
     _print_campaign_result(result)
 
 
+def _fleet_watch_fetch(directory):
+    """Fetch closure for ``fleet status --watch``: live endpoint, else sidecar.
+
+    Re-reads the sidecar each frame so a scheduler that binds (or exits)
+    mid-watch is picked up; while the sidecar says ``serving`` the live
+    ``/status`` endpoint is preferred for fresher numbers.
+    """
+    import json
+    from pathlib import Path
+
+    from .obs import fetch_watch_endpoint, load_watch_dir
+
+    def fetch():
+        sidecar = Path(directory) / "fleet.json"
+        try:
+            raw = json.loads(sidecar.read_text())
+        except (OSError, json.JSONDecodeError):
+            raw = {}
+        if raw.get("state") == "serving" and raw.get("port"):
+            try:
+                return fetch_watch_endpoint(
+                    str(raw.get("host") or "127.0.0.1"), int(raw["port"]),
+                    timeout=2.0,
+                )
+            except ConnectionError:
+                pass  # scheduler gone or firewalled; sidecar still works
+        return load_watch_dir(directory)
+
+    return fetch
+
+
 def cmd_fleet_status(args: argparse.Namespace) -> None:
     from .campaign.fleet import fleet_status
 
+    if args.watch:
+        from .obs import run_top
+
+        code = run_top(
+            _fleet_watch_fetch(args.dir), once=args.json, as_json=args.json,
+            color=not args.no_color, interval_s=args.interval,
+        )
+        if code:
+            raise SystemExit(code)
+        return
     status = fleet_status(args.dir)
     if args.json:
         import json
@@ -617,6 +664,43 @@ def cmd_obs_report(args: argparse.Namespace) -> None:
         print(json.dumps(report, sort_keys=True))
         return
     print(obs.format_report(report))
+
+
+def cmd_obs_top(args: argparse.Namespace) -> None:
+    from .obs import (
+        fetch_watch_endpoint,
+        load_watch_dir,
+        load_watch_events,
+        run_top,
+    )
+
+    sources = [s for s in (args.connect, args.dir, args.input) if s]
+    if len(sources) != 1:
+        raise SystemExit(
+            "obs top needs exactly one of --connect HOST:PORT, --dir "
+            "CAMPAIGN_DIR or --in events.jsonl"
+        )
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise SystemExit(f"bad --connect {args.connect!r}; want HOST:PORT")
+        port = int(port_text)
+
+        def fetch():
+            return fetch_watch_endpoint(host, port, timeout=2.0)
+    elif args.dir:
+        def fetch():
+            return load_watch_dir(args.dir)
+    else:
+        def fetch():
+            return load_watch_events(args.input)
+    once = args.once or args.json or args.input is not None
+    code = run_top(
+        fetch, once=once, as_json=args.json, color=not args.no_color,
+        interval_s=args.interval,
+    )
+    if code:
+        raise SystemExit(code)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -832,6 +916,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--chaos", metavar="SPEC", default=None,
                          help="fleet chaos schedule, e.g. "
                               "'kill:a0@1,hang:a1,crash:4' (testing/CI only)")
+    p_serve.add_argument("--no-event-log", action="store_true",
+                         help="skip the crash-safe events.jsonl trace journal")
     add_obs_out(p_serve)
     p_serve.set_defaults(func=cmd_fleet_serve)
 
@@ -849,6 +935,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "long")
     p_worker.add_argument("--chaos", metavar="SPEC", default=None,
                           help="fleet chaos schedule for this agent's faults")
+    p_worker.add_argument("--stream", action="store_true",
+                          help="piggyback advisory obs deltas on heartbeats "
+                               "for the scheduler's live telemetry")
     add_obs_out(p_worker)
     p_worker.set_defaults(func=cmd_fleet_worker)
 
@@ -868,7 +957,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fstatus.add_argument("--dir", required=True)
     p_fstatus.add_argument("--json", action="store_true",
-                           help="print the status dict as JSON")
+                           help="print the status dict as JSON (with --watch: "
+                                "one watch payload)")
+    p_fstatus.add_argument("--watch", action="store_true",
+                           help="live telemetry view (endpoint when serving, "
+                                "sidecar otherwise)")
+    p_fstatus.add_argument("--interval", type=float, default=1.0,
+                           help="--watch refresh interval in seconds")
+    p_fstatus.add_argument("--no-color", action="store_true",
+                           help="plain ASCII output for --watch")
     p_fstatus.set_defaults(func=cmd_fleet_status)
 
     p_back = sub.add_parser(
@@ -917,6 +1014,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_report.add_argument("--json", action="store_true",
                               help="print the merged report as JSON")
     p_obs_report.set_defaults(func=cmd_obs_report)
+    p_obs_top = obs_sub.add_parser(
+        "top", help="live ANSI dashboard for a fleet's streamed telemetry"
+    )
+    p_obs_top.add_argument("--connect", metavar="HOST:PORT", default=None,
+                           help="poll a live scheduler's /status endpoint")
+    p_obs_top.add_argument("--dir", default=None, metavar="CAMPAIGN_DIR",
+                           help="read the fleet.json sidecar's telemetry")
+    p_obs_top.add_argument("--in", dest="input", default=None, metavar="PATH",
+                           help="replay the last watch event of a recorded "
+                                "events.jsonl (implies --once)")
+    p_obs_top.add_argument("--interval", type=float, default=1.0,
+                           help="refresh interval in seconds")
+    p_obs_top.add_argument("--once", action="store_true",
+                           help="render a single frame and exit")
+    p_obs_top.add_argument("--json", action="store_true",
+                           help="print the raw watch payload (implies --once)")
+    p_obs_top.add_argument("--no-color", action="store_true",
+                           help="plain ASCII panels (CI logs, dumb terminals)")
+    p_obs_top.set_defaults(func=cmd_obs_top)
     return parser
 
 

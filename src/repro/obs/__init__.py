@@ -27,6 +27,7 @@ Typical use::
 """
 
 from .export import format_report, read_snapshots, summarize, write_snapshots
+from .openmetrics import metric_name, parse_openmetrics, render_openmetrics
 from .metrics import (
     DURATION_BUCKETS_S,
     RATE_BUCKETS,
@@ -50,32 +51,65 @@ from .metrics import (
     snapshot,
 )
 from .profiler import SamplingProfiler, profile_scope
+from .stream import (
+    DELTA_KIND,
+    SERIES_RING_POINTS,
+    DeltaEncoder,
+    SeriesRing,
+    StreamMerger,
+    frame_is_empty,
+)
+from .top import (
+    fetch_watch_endpoint,
+    load_watch_dir,
+    load_watch_events,
+    render_dashboard,
+    run_top,
+)
 from .trace import (
     MAX_SPANS,
     SpanRecord,
     dropped_spans,
     finished_spans,
+    next_span_id,
     record_span,
     span,
     span_dicts_snapshot,
     spans_snapshot,
+    stable_trace_id,
 )
 from .trace import reset as reset_spans
 
 __all__ = [
     "Counter",
+    "DeltaEncoder",
     "Gauge",
     "Histogram",
     "Registry",
     "REGISTRY",
     "SNAPSHOT_VERSION",
+    "DELTA_KIND",
     "DURATION_BUCKETS_S",
     "RATE_BUCKETS",
+    "SERIES_RING_POINTS",
     "SIZE_BUCKETS",
     "MAX_SPANS",
     "SamplingProfiler",
+    "SeriesRing",
     "SpanRecord",
+    "StreamMerger",
     "absorb",
+    "fetch_watch_endpoint",
+    "frame_is_empty",
+    "load_watch_dir",
+    "load_watch_events",
+    "metric_name",
+    "next_span_id",
+    "parse_openmetrics",
+    "render_dashboard",
+    "render_openmetrics",
+    "run_top",
+    "stable_trace_id",
     "counter",
     "disable",
     "dropped_spans",

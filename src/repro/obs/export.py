@@ -58,6 +58,19 @@ def summarize(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
     profiles = [s for s in snapshots if s.get("kind") == "profile"]
 
     merged = merge_snapshots(metrics_snaps)
+    by_agent: dict[str, list[dict[str, Any]]] = {}
+    for snap in metrics_snaps:
+        source = snap.get("source")
+        if source:
+            by_agent.setdefault(str(source), []).append(snap)
+    agents: dict[str, dict[str, Any]] = {}
+    for source, snaps in sorted(by_agent.items()):
+        agent_merged = merge_snapshots(snaps, label=source)
+        agents[source] = {
+            "snapshots": len(snaps),
+            "counters": agent_merged["counters"],
+            "gauges": agent_merged["gauges"],
+        }
     span_aggregates: dict[str, dict[str, float]] = {}
     spans_dropped = 0
     for snap in span_snaps:
@@ -79,6 +92,7 @@ def summarize(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
         "counters": merged["counters"],
         "gauges": merged["gauges"],
         "histograms": merged["histograms"],
+        "agents": agents,
         "spans": {
             "dropped": spans_dropped,
             "aggregates": dict(sorted(span_aggregates.items())),
@@ -108,6 +122,16 @@ def format_report(report: dict[str, Any]) -> str:
                 f"  {name}: n={h['total']} mean={mean:.4g} "
                 f"min={h['min']:.4g} max={h['max']:.4g}"
             )
+    if report.get("agents"):
+        lines.append("\nper-agent:")
+        for source, section in report["agents"].items():
+            lines.append(f"  {source} ({section['snapshots']} snapshot(s)):")
+            names = list(section["counters"]) + list(section["gauges"])
+            width = max((len(n) for n in names), default=0)
+            for name, value in section["counters"].items():
+                lines.append(f"    {name:<{width}}  {value}")
+            for name, value in section["gauges"].items():
+                lines.append(f"    {name:<{width}}  {value:g}")
     aggregates = report["spans"]["aggregates"]
     if aggregates:
         lines.append("\nspans:")

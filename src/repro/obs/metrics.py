@@ -29,7 +29,9 @@ from collections.abc import Iterable, Sequence
 from typing import Any
 
 #: snapshot format version; bumped on any shape change (golden-schema tests).
-SNAPSHOT_VERSION = 1
+#: v2: ``obs_report`` payloads grew a per-agent ``agents`` section and span
+#: dicts carry ``trace_id``/``span_id``.
+SNAPSHOT_VERSION = 2
 
 #: power-of-ten ladder for durations in seconds (100 us .. 1000 s).
 DURATION_BUCKETS_S: tuple[float, ...] = tuple(

@@ -1,0 +1,178 @@
+"""OpenMetrics / Prometheus text exposition for obs snapshots.
+
+Renders a :func:`repro.obs.snapshot`-shaped metrics dict (plus optional
+labelled families for derived health signals) into the OpenMetrics text
+format, terminated by ``# EOF`` as the spec requires.  Zero dependencies -
+the format is line-oriented text - and a small :func:`parse_openmetrics`
+reader exists so tests and the CI telemetry smoke can assert the endpoint
+round-trips rather than merely "returned 200".
+
+Name mapping: metric names in this repo are dotted (``campaign.chunks_ok``);
+exposition names replace every non ``[a-zA-Z0-9_]`` character with ``_`` and
+take a ``repro_`` prefix, so ``campaign.chunks_ok`` exposes as
+``repro_campaign_chunks_ok_total`` (counters get the ``_total`` suffix per
+the spec; the TYPE line carries the unsuffixed family name).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: prefix applied to every exposed metric family.
+PREFIX = "repro_"
+
+
+def metric_name(dotted: str, prefix: str = PREFIX) -> str:
+    """Exposition-safe family name for a dotted registry metric name."""
+    name = _NAME_RE.sub("_", dotted)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return prefix + name
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            _NAME_RE.sub("_", str(key)),
+            str(val).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_openmetrics(
+    snap: Mapping[str, Any] | None,
+    families: Iterable[Mapping[str, Any]] = (),
+    prefix: str = PREFIX,
+) -> str:
+    """Render a metrics snapshot (and extra labelled families) as text.
+
+    ``families`` entries are ``{"name": dotted, "type": "gauge"|"counter",
+    "help": str, "samples": [(labels_dict, value), ...]}`` - the scheduler
+    uses these for derived per-agent health signals that live outside the
+    metrics registry proper.
+    """
+    lines: list[str] = []
+    snap = snap or {}
+    for dotted, value in snap.get("counters", {}).items():
+        fam = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {fam} counter")
+        lines.append(f"{fam}_total {_fmt_value(int(value))}")
+    for dotted, value in snap.get("gauges", {}).items():
+        fam = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {fam} gauge")
+        lines.append(f"{fam} {_fmt_value(float(value))}")
+    for dotted, data in snap.get("histograms", {}).items():
+        fam = metric_name(dotted, prefix)
+        lines.append(f"# TYPE {fam} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{fam}_bucket{{le="{_fmt_value(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f'{fam}_bucket{{le="+Inf"}} {int(data["total"])}')
+        lines.append(f"{fam}_count {int(data['total'])}")
+        lines.append(f"{fam}_sum {_fmt_value(float(data['sum']))}")
+    for family in families:
+        fam = metric_name(str(family["name"]), prefix)
+        ftype = str(family.get("type", "gauge"))
+        if family.get("help"):
+            lines.append(f"# HELP {fam} {family['help']}")
+        lines.append(f"# TYPE {fam} {ftype}")
+        suffix = "_total" if ftype == "counter" else ""
+        for labels, value in family.get("samples", []):
+            lines.append(f"{fam}{suffix}{_fmt_labels(labels)} {_fmt_value(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
+    """Minimal reader for the exposition format this module renders.
+
+    Returns ``{family_name: {"type": str, "samples": [(labels, value)]}}``
+    with samples keyed under their family (``_total``/``_bucket``/``_count``/
+    ``_sum`` suffixes folded back).  Raises ``ValueError`` on a malformed
+    line or a missing ``# EOF`` terminator, so a truncated response fails
+    loudly in tests.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError("content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, ftype = rest.partition(" ")
+            families.setdefault(name, {"type": ftype.strip(), "samples": []})
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {raw!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for lmatch in _LABEL_RE.finditer(match.group("labels")):
+                labels[lmatch.group(1)] = (
+                    lmatch.group(2)
+                    .replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+                )
+        family = name
+        for suffix in ("_total", "_bucket", "_count", "_sum"):
+            trimmed = name[: -len(suffix)]
+            if name.endswith(suffix) and trimmed in families:
+                family = trimmed
+                labels["__sample__"] = suffix.lstrip("_")
+                break
+        entry = families.setdefault(family, {"type": "untyped", "samples": []})
+        entry["samples"].append((labels, _parse_value(match.group("value"))))
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return families

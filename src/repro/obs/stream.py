@@ -1,0 +1,295 @@
+"""Delta-encoded metric streaming for live fleet telemetry (DESIGN.md 6j).
+
+The post-hoc obs pipeline ships whole snapshots when a chunk finishes; a
+*stream* ships small periodic deltas while work is still in flight so a
+scheduler (or dashboard) can watch rates move.  Three pieces:
+
+* :class:`DeltaEncoder` - wraps a registry and emits ``obs_delta`` frames:
+  counter *increments* since the previous frame, gauge last-writes, and
+  histogram bucket-count increments, stamped with a per-source stream id
+  and a monotonically increasing sequence number.
+* :class:`StreamMerger` - the receiving side.  Applies delta frames from
+  many sources into one merged registry with per-stream sequence
+  de-duplication (duplicated frames apply once), reorder tolerance
+  (counter/histogram deltas commute; gauges apply newest-seq-wins) and
+  gap accounting (dropped frames are *counted*, never guessed at).
+* :class:`SeriesRing` - a bounded ring of ``(t, value)`` points backing
+  the scheduler's per-agent time series; overflow drops the oldest.
+
+Loss semantics: streaming telemetry is advisory.  A dropped delta frame
+means the merged stream view undercounts by that frame's increments - the
+gap count says by how many frames - but authoritative totals always travel
+on the result-frame snapshot path, so nothing downstream of the stream
+view can be wrong, only stale.  This is what lets the fleet chaos grammar
+(drop/dup/reorder) cover telemetry frames without any retransmit machinery.
+
+Reset detection: agents reset their registry per chunk when shipping
+per-chunk snapshots.  When a counter (or histogram total) goes *backwards*
+between frames the encoder treats the prior baseline as zero, so the delta
+after a reset is the full new value rather than a negative number.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Any
+
+from . import metrics
+from .metrics import Registry
+
+#: default capacity of a :class:`SeriesRing` (per source, per series).
+SERIES_RING_POINTS = 512
+
+#: frame kind tag carried by every delta frame.
+DELTA_KIND = "obs_delta"
+
+
+def _histogram_state(snap: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {name: dict(data) for name, data in snap.get("histograms", {}).items()}
+
+
+class DeltaEncoder:
+    """Emit delta frames from successive snapshots of one registry.
+
+    ``source`` is the stream id (an agent name in the fleet); every frame
+    from one encoder carries it plus a sequence number starting at 0.  The
+    encoder is purely a *reader* of the registry - it never writes metrics,
+    so it cannot perturb anything the registry observes.
+    """
+
+    def __init__(self, source: str, registry: Registry | None = None):
+        self.source = source
+        self._registry = registry if registry is not None else metrics.REGISTRY
+        self._seq = 0
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, dict[str, Any]] = {}
+
+    def delta(self, label: str = "") -> dict[str, Any]:
+        """Next delta frame: changes since the previous call (or since init)."""
+        snap = self._registry.snapshot(label=label)
+        counters: dict[str, int] = {}
+        for name, value in snap.get("counters", {}).items():
+            prev = self._counters.get(name, 0)
+            if value < prev:  # registry reset between frames
+                prev = 0
+            if value - prev:
+                counters[name] = value - prev
+        histograms: dict[str, dict[str, Any]] = {}
+        for name, data in snap.get("histograms", {}).items():
+            prev_h = self._histograms.get(name)
+            if prev_h is None or int(data["total"]) < int(prev_h["total"]) or list(
+                prev_h["bounds"]
+            ) != list(data["bounds"]):
+                prev_h = {
+                    "bounds": list(data["bounds"]),
+                    "counts": [0] * len(data["counts"]),
+                    "total": 0,
+                    "sum": 0.0,
+                }
+            d_total = int(data["total"]) - int(prev_h["total"])
+            if d_total:
+                histograms[name] = {
+                    "bounds": list(data["bounds"]),
+                    "counts": [
+                        int(c) - int(p)
+                        for c, p in zip(data["counts"], prev_h["counts"])
+                    ],
+                    "total": d_total,
+                    "sum": float(data["sum"]) - float(prev_h["sum"]),
+                    # min/max of the *increment* are unknowable from two
+                    # cumulative snapshots; ship the cumulative extremes and
+                    # let the merger widen monotonically.
+                    "min": data["min"],
+                    "max": data["max"],
+                }
+        frame = {
+            "kind": DELTA_KIND,
+            "version": metrics.SNAPSHOT_VERSION,
+            "source": self.source,
+            "seq": self._seq,
+            "label": label,
+            "counters": counters,
+            "gauges": dict(snap.get("gauges", {})),
+            "histograms": histograms,
+        }
+        self._seq += 1
+        self._counters = dict(snap.get("counters", {}))
+        self._histograms = _histogram_state(snap)
+        return frame
+
+
+def frame_is_empty(frame: dict[str, Any]) -> bool:
+    """True when a delta frame carries no counter/histogram increments and
+    no gauges - callers may skip shipping these to save wire bytes."""
+    return not (
+        frame.get("counters") or frame.get("histograms") or frame.get("gauges")
+    )
+
+
+class SeriesRing:
+    """Bounded ring of ``(t, value)`` points; overflow sheds the oldest."""
+
+    __slots__ = ("_points", "dropped")
+
+    def __init__(self, maxlen: int = SERIES_RING_POINTS):
+        self._points: deque[tuple[float, float]] = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def append(self, t: float, value: float) -> None:
+        if len(self._points) == self._points.maxlen:
+            self.dropped += 1
+        self._points.append((float(t), float(value)))
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(self._points)
+
+    def last(self) -> tuple[float, float] | None:
+        return self._points[-1] if self._points else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def rate(self, window_s: float) -> float:
+        """Mean increase per second over the trailing ``window_s`` seconds
+        of a cumulative series (0.0 with fewer than two points in window)."""
+        pts = self._points
+        if len(pts) < 2:
+            return 0.0
+        t_hi, v_hi = pts[-1]
+        t_lo, v_lo = pts[0]
+        for t, v in reversed(pts):
+            if t_hi - t > window_s:
+                break
+            t_lo, v_lo = t, v
+        if t_hi <= t_lo:
+            return 0.0
+        return (v_hi - v_lo) / (t_hi - t_lo)
+
+
+class _SourceState:
+    """Per-stream bookkeeping: applied seqs, gauge recency, counters ring."""
+
+    __slots__ = ("applied", "applied_floor", "max_seq", "dup_frames",
+                 "frames", "gauge_seq", "series")
+
+    def __init__(self) -> None:
+        self.applied: set[int] = set()
+        self.applied_floor = -1  # every seq <= floor is known applied
+        self.max_seq = -1
+        self.dup_frames = 0
+        self.frames = 0
+        self.gauge_seq: dict[str, int] = {}
+        self.series: dict[str, SeriesRing] = {}
+
+    def mark(self, seq: int) -> bool:
+        """Record ``seq`` as applied; False if it already was (duplicate)."""
+        if seq <= self.applied_floor or seq in self.applied:
+            self.dup_frames += 1
+            return False
+        self.applied.add(seq)
+        self.max_seq = max(self.max_seq, seq)
+        # compress the contiguous prefix so the set stays tiny even over
+        # million-frame streams
+        while (self.applied_floor + 1) in self.applied:
+            self.applied_floor += 1
+            self.applied.discard(self.applied_floor)
+        return True
+
+    def gaps(self) -> int:
+        """Frames known missing: sent (seq says so) but never applied."""
+        seen = (self.applied_floor + 1) + len(self.applied)
+        return max(0, (self.max_seq + 1) - seen)
+
+
+class StreamMerger:
+    """Fold delta frames from many sources into one merged registry.
+
+    Commutative by construction for counters and histograms (increments
+    add in any order); gauges apply newest-sequence-wins so a reordered
+    stale gauge write cannot clobber a fresher one.  Duplicate frames
+    (same source+seq) apply exactly once.
+    """
+
+    def __init__(self, ring_points: int = SERIES_RING_POINTS,
+                 tracked_series: Iterable[str] = ()):
+        self._registry = Registry()
+        self._sources: dict[str, _SourceState] = {}
+        self._ring_points = ring_points
+        self._tracked = tuple(tracked_series)
+        self._cumulative: dict[tuple[str, str], float] = {}
+
+    # -- ingestion ------------------------------------------------------------
+
+    def apply(self, frame: dict[str, Any], at: float | None = None) -> bool:
+        """Apply one delta frame; returns False for duplicates/garbage.
+
+        ``at`` is the receiver-side arrival stamp used for time series
+        (receiver-stamped on purpose: agent clocks never cross the wire).
+        """
+        if not isinstance(frame, dict) or frame.get("kind") != DELTA_KIND:
+            return False
+        source = str(frame.get("source", ""))
+        seq = frame.get("seq")
+        if not source or not isinstance(seq, int) or seq < 0:
+            return False
+        state = self._sources.setdefault(source, _SourceState())
+        if not state.mark(seq):
+            return False
+        state.frames += 1
+        for name, inc in frame.get("counters", {}).items():
+            self._registry.counter(name).add(int(inc))
+            key = (source, name)
+            total = self._cumulative.get(key, 0.0) + int(inc)
+            self._cumulative[key] = total
+            if at is not None and (not self._tracked or name in self._tracked):
+                ring = state.series.get(name)
+                if ring is None:
+                    ring = state.series[name] = SeriesRing(self._ring_points)
+                ring.append(at, total)
+        for name, value in frame.get("gauges", {}).items():
+            if seq >= state.gauge_seq.get(name, -1):
+                state.gauge_seq[name] = seq
+                self._registry.gauge(name).set(float(value))
+        for name, data in frame.get("histograms", {}).items():
+            hist = self._registry.histogram(name, data["bounds"])
+            if list(hist.bounds) != list(data["bounds"]):
+                continue  # advisory stream: skip, never crash the receiver
+            for i, count in enumerate(data["counts"]):
+                hist.counts[i] += int(count)
+            hist.total += int(data["total"])
+            hist.sum += float(data["sum"])
+            if int(data["total"]):
+                hist.min = min(hist.min, float(data["min"]))
+                hist.max = max(hist.max, float(data["max"]))
+        return True
+
+    # -- views ----------------------------------------------------------------
+
+    def snapshot(self, label: str = "stream") -> dict[str, Any]:
+        """Merged metrics snapshot across every stream seen so far."""
+        return self._registry.snapshot(label=label)
+
+    def counter_total(self, source: str, name: str) -> float:
+        """Cumulative value of one counter as streamed by one source."""
+        return self._cumulative.get((source, name), 0.0)
+
+    def series(self, source: str, name: str) -> SeriesRing | None:
+        """Time-series ring for one source's counter (None if never seen)."""
+        state = self._sources.get(source)
+        return state.series.get(name) if state else None
+
+    def sources(self) -> list[str]:
+        return sorted(self._sources)
+
+    def stats(self) -> dict[str, Any]:
+        """Per-stream health: frames applied, duplicates dropped, gaps."""
+        return {
+            source: {
+                "frames": state.frames,
+                "duplicates": state.dup_frames,
+                "gaps": state.gaps(),
+                "last_seq": state.max_seq,
+            }
+            for source, state in sorted(self._sources.items())
+        }

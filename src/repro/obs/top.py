@@ -1,0 +1,265 @@
+"""``python -m repro obs top``: a curses-free ANSI mission-control view.
+
+Renders one fleet watch payload (see
+:class:`repro.campaign.fleet.telemetry.FleetTelemetry`) as a fixed set of
+terminal panels - progress/ETA, per-agent rates with straggler markers,
+rare-event ESS, backlog/quarantine and lease churn - using nothing but
+ANSI escape codes, so it works over ssh, in CI logs (``--no-color``) and
+anywhere curses would be a liability.
+
+Three payload sources, in the order an operator reaches for them:
+
+* ``--connect HOST:PORT`` - poll the scheduler's ``/status`` endpoint
+  (plain HTTP on the same port agents dial);
+* ``--dir CAMPAIGN_DIR`` - read the ``telemetry`` section the scheduler
+  journals into its ``fleet.json`` sidecar (works from any process on a
+  shared filesystem, even after the scheduler exited);
+* ``--in events.jsonl`` - replay the last ``watch`` event of a recorded
+  event log (post-mortem of a finished or crashed run).
+
+``--once`` renders a single frame and exits (what tests and CI use);
+``--json`` emits the raw payload instead of panels.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+#: ANSI bits (kept as data so --no-color can zero them uniformly).
+_CSI = "\x1b["
+_CLEAR = _CSI + "2J" + _CSI + "H"
+_COLORS = {
+    "reset": _CSI + "0m",
+    "bold": _CSI + "1m",
+    "dim": _CSI + "2m",
+    "green": _CSI + "32m",
+    "yellow": _CSI + "33m",
+    "red": _CSI + "31m",
+    "cyan": _CSI + "36m",
+}
+
+#: an agent at or past this straggler score gets flagged in the panel.
+STRAGGLER_FLAG = 1.5
+
+
+def http_get(host: str, port: int, path: str, timeout: float = 5.0) -> str:
+    """Minimal HTTP/1.0 GET (stdlib socket only); returns the body text.
+
+    Raises ``ConnectionError`` on transport failure or a non-200 status -
+    callers treat any failure as "endpoint not serving".
+    """
+    request = (
+        f"GET {path} HTTP/1.0\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(request)
+            chunks = []
+            while True:
+                block = sock.recv(65536)
+                if not block:
+                    break
+                chunks.append(block)
+    except OSError as exc:
+        raise ConnectionError(f"GET {host}:{port}{path}: {exc}") from exc
+    raw = b"".join(chunks)
+    header, _, body = raw.partition(b"\r\n\r\n")
+    status_line = header.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    parts = status_line.split()
+    if len(parts) < 2 or parts[1] != "200":
+        raise ConnectionError(f"GET {host}:{port}{path}: {status_line}")
+    return body.decode("utf-8", "replace")
+
+
+def fetch_watch_endpoint(host: str, port: int,
+                         timeout: float = 5.0) -> dict[str, Any]:
+    """Watch payload from a live scheduler's ``/status`` endpoint."""
+    payload = json.loads(http_get(host, port, "/status", timeout))
+    if not isinstance(payload, dict):
+        raise ConnectionError(f"{host}:{port}/status returned a non-object")
+    return payload
+
+
+def load_watch_dir(directory: str | Path) -> dict[str, Any]:
+    """Watch payload journaled into a campaign directory's sidecar."""
+    sidecar = Path(directory) / "fleet.json"
+    try:
+        raw = json.loads(sidecar.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FileNotFoundError(
+            f"no readable fleet sidecar at {sidecar} (has a scheduler "
+            "served this directory?)"
+        ) from exc
+    payload = raw.get("telemetry")
+    if not isinstance(payload, dict):
+        raise FileNotFoundError(
+            f"sidecar {sidecar} has no telemetry section (pre-telemetry "
+            "scheduler?)"
+        )
+    return payload
+
+
+def load_watch_events(path: str | Path) -> dict[str, Any]:
+    """Last ``watch`` event of a recorded JSONL event log.
+
+    Tolerates a torn final line (the log is append-only and the writer may
+    have been SIGKILLed mid-line).
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last: dict[str, Any] | None = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn tail
+            raise
+        if isinstance(record, dict) and record.get("event") == "watch":
+            payload = record.get("payload")
+            if isinstance(payload, dict):
+                last = payload
+    if last is None:
+        raise FileNotFoundError(f"no watch events recorded in {path}")
+    return last
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_eta(eta_s: Any) -> str:
+    if eta_s is None:
+        return "--"
+    eta_s = float(eta_s)
+    if eta_s >= 3600:
+        return f"{eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.1f}s"
+
+
+def render_dashboard(payload: dict[str, Any], color: bool = True,
+                     width: int = 78) -> str:
+    """One full-screen frame of panels for a watch payload."""
+    c: dict[str, str] = (
+        dict(_COLORS) if color else {key: "" for key in _COLORS}
+    )
+    done = int(payload.get("chunks_done", 0))
+    total = max(1, int(payload.get("total_chunks", 1)))
+    state = str(payload.get("state", "?"))
+    state_color = c["green"] if state in ("serving", "complete") else c["yellow"]
+    lines = [
+        f"{c['bold']}repro fleet telemetry{c['reset']}  "
+        f"state={state_color}{state}{c['reset']}  "
+        f"chunks {done}/{payload.get('total_chunks', '?')}  "
+        f"rate {float(payload.get('fleet_rate', 0.0)):.2f}/s  "
+        f"eta {_fmt_eta(payload.get('eta_s'))}",
+        f"  [{_bar(done / total, width - 4)}]",
+    ]
+
+    agents = payload.get("agents", {})
+    lines.append(f"\n{c['bold']}agents{c['reset']} ({len(agents)})")
+    if agents:
+        lines.append(
+            f"  {'name':<12} {'rate/s':>8} {'straggler':>9} {'chunks':>6} "
+            f"{'seen':>7} {'frames':>6} {'gaps':>5}"
+        )
+        for name, info in sorted(agents.items()):
+            score = float(info.get("straggler_score", 1.0))
+            flag = (
+                f" {c['red']}<< straggler{c['reset']}"
+                if score >= STRAGGLER_FLAG
+                else ""
+            )
+            stream = info.get("stream", {})
+            lines.append(
+                f"  {name:<12} {float(info.get('chunk_rate', 0.0)):>8.2f} "
+                f"{score:>9.2f} {int(info.get('chunks_done', 0)):>6} "
+                f"{float(info.get('last_seen_age_s', 0.0)):>6.1f}s "
+                f"{int(stream.get('frames', 0)):>6} "
+                f"{int(stream.get('gaps', 0)):>5}{flag}"
+            )
+    else:
+        lines.append(f"  {c['dim']}(no agents reporting){c['reset']}")
+
+    gauges = payload.get("gauges", {})
+    ess = gauges.get("rareevent.ess")
+    cv2 = gauges.get("rareevent.weight_cv2")
+    lines.append(f"\n{c['bold']}rare-event{c['reset']}")
+    if ess is not None or cv2 is not None:
+        ess_text = f"{float(ess):.1f}" if ess is not None else "--"
+        cv2_text = f"{float(cv2):.3f}" if cv2 is not None else "--"
+        lines.append(f"  ESS {c['cyan']}{ess_text}{c['reset']}"
+                     f"   weight CV^2 {cv2_text}")
+    else:
+        lines.append(f"  {c['dim']}(no rare-event stream){c['reset']}")
+
+    churn = payload.get("lease_churn", {})
+    backlog = int(payload.get("backlog", 0))
+    quarantined = int(payload.get("quarantined", 0))
+    q_color = c["red"] if quarantined else c["green"]
+    lines.append(
+        f"\n{c['bold']}backlog{c['reset']} {backlog} pending, "
+        f"{q_color}{quarantined} quarantined{c['reset']}   "
+        f"{c['bold']}leases{c['reset']} {churn.get('active', 0)} active / "
+        f"{churn.get('granted', 0)} granted / {churn.get('expired', 0)} "
+        f"expired / {churn.get('stolen', 0)} stolen"
+    )
+
+    counters = payload.get("counters", {})
+    if counters:
+        lines.append(f"\n{c['bold']}streamed counters{c['reset']}")
+        for name, value in sorted(
+            counters.items(), key=lambda kv: -float(kv[1])
+        )[:8]:
+            lines.append(f"  {name:<40} {value}")
+    lines.append(
+        f"\n{c['dim']}telemetry frames {payload.get('telemetry_frames', 0)} | "
+        f"advisory stream: totals authoritative only in the manifest{c['reset']}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(fetch: Callable[[], dict[str, Any]], *, once: bool = False,
+            as_json: bool = False, color: bool = True,
+            interval_s: float = 1.0, iterations: int | None = None,
+            out: Any = None) -> int:
+    """Drive the dashboard loop; returns a process exit code.
+
+    ``fetch`` produces one watch payload per frame (endpoint poll, sidecar
+    read, or log replay); ``iterations`` bounds the loop for tests.
+    """
+    out = out if out is not None else sys.stdout
+    frames = 0
+    while True:
+        try:
+            payload = fetch()
+        except (ConnectionError, FileNotFoundError) as exc:
+            print(f"obs top: {exc}", file=sys.stderr)
+            return 1
+        if as_json:
+            out.write(json.dumps(payload, sort_keys=True) + "\n")
+        else:
+            if not once:
+                out.write(_CLEAR if color else "\n")
+            out.write(render_dashboard(payload, color=color))
+        out.flush()
+        frames += 1
+        if once or (iterations is not None and frames >= iterations):
+            return 0
+        if str(payload.get("state")) in ("complete", "crashed", "failed"):
+            return 0
+        time.sleep(interval_s)

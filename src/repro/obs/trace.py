@@ -19,6 +19,8 @@ reporting exactly how much was shed.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import threading
 import time
 from collections import deque
@@ -29,6 +31,44 @@ from . import metrics
 
 #: completed spans kept in memory (oldest dropped beyond this).
 MAX_SPANS = 4096
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 step: a cheap, well-mixed u64 from a counter.
+
+    Span ids come from a process-local sequence counter pushed through this
+    mix - deterministic (no ``random``, no clock; REPRO1xx-safe) yet
+    collision-free within a process and well spread across them once the
+    trace id (config-fingerprint-derived) is factored in.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+_SPAN_SEQ = itertools.count()
+
+
+def next_span_id() -> int:
+    """Fresh nonzero u64 span id (splitmix64 over a sequence counter)."""
+    sid = _splitmix64(next(_SPAN_SEQ))
+    return sid or 1
+
+
+def stable_trace_id(*parts: Any) -> int:
+    """Deterministic nonzero u64 trace id from JSON-safe parts.
+
+    SHA-256 over the repr of the parts, truncated to 8 bytes - the same
+    (fingerprint, chunk, attempt) triple always yields the same trace id,
+    so a scheduler-side chunk span and the agent-side span that computed it
+    correlate across the wire without any id ever crossing a random source.
+    """
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    tid = int.from_bytes(digest[:8], "big")
+    return tid or 1
 
 
 @dataclass
@@ -41,6 +81,8 @@ class SpanRecord:
     depth: int = 0
     parent: str | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    trace_id: int = 0  # 0 = not part of a cross-process trace
+    span_id: int = field(default_factory=next_span_id)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -50,6 +92,8 @@ class SpanRecord:
             "depth": self.depth,
             "parent": self.parent,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
         }
 
 
@@ -77,7 +121,12 @@ class _SpanContext:
         if record is None:
             return None
         record.depth = len(_STATE.stack)
-        record.parent = _STATE.stack[-1].name if _STATE.stack else None
+        if _STATE.stack:
+            record.parent = _STATE.stack[-1].name
+            if not record.trace_id:  # nested spans inherit the trace
+                record.trace_id = _STATE.stack[-1].trace_id
+        else:
+            record.parent = None
         _STATE.stack.append(record)
         record.start = time.perf_counter()
         return record
@@ -92,20 +141,26 @@ class _SpanContext:
         _store(record)
 
 
-def span(name: str, **attrs: Any) -> _SpanContext:
-    """Time a region of work; no-op (yields ``None``) when obs is disabled."""
+def span(name: str, trace_id: int = 0, **attrs: Any) -> _SpanContext:
+    """Time a region of work; no-op (yields ``None``) when obs is disabled.
+
+    ``trace_id`` joins the span to a cross-process trace (see
+    :func:`stable_trace_id`); nested spans inherit their parent's trace.
+    """
     if not metrics.enabled():
         return _SpanContext(None)
-    return _SpanContext(SpanRecord(name=name, attrs=attrs))
+    return _SpanContext(SpanRecord(name=name, trace_id=int(trace_id), attrs=attrs))
 
 
-def record_span(name: str, duration: float, **attrs: Any) -> SpanRecord | None:
+def record_span(name: str, duration: float, trace_id: int = 0,
+                **attrs: Any) -> SpanRecord | None:
     """Register an externally-timed span (e.g. the campaign supervisor's
     chunk lifetime, measured against its own deadline clock).  Returns the
     record, or ``None`` when obs is disabled."""
     if not metrics.enabled():
         return None
-    rec = SpanRecord(name=name, duration=float(duration), attrs=attrs)
+    rec = SpanRecord(name=name, duration=float(duration),
+                     trace_id=int(trace_id), attrs=attrs)
     _store(rec)
     return rec
 
@@ -131,10 +186,11 @@ def dropped_spans() -> int:
 
 def reset() -> None:
     """Forget all finished spans and the drop count (tests, fresh CLI runs)."""
-    global _DROPPED
+    global _DROPPED, _SPAN_SEQ
     with _LOCK:
         _FINISHED.clear()
         _DROPPED = 0
+        _SPAN_SEQ = itertools.count()
     _STATE.stack.clear()
 
 

@@ -1,0 +1,350 @@
+"""Fleet telemetry: health-signal math, the event journal, and streaming.
+
+The load-bearing claims: derived signals (EWMA rates, straggler scores,
+ETA) are pure functions of the facts the scheduler feeds in; the event
+log survives torn tails and replays into the dashboard; and - the
+headline - a fleet streaming live telemetry through drop/dup/reorder
+chaos produces a tally bit-identical to a single-process run with
+observability off entirely, because the stream is advisory by
+construction.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.campaign import FleetChaos, start_campaign
+from repro.campaign.fleet import (
+    EVENTS_NAME,
+    EventLog,
+    FleetAgent,
+    FleetScheduler,
+    FleetTelemetry,
+    read_events,
+)
+from repro.obs import (
+    load_watch_dir,
+    parse_openmetrics,
+    stable_trace_id,
+)
+
+from .test_fleet import _start, agent_policy, config, counts, policy
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Streaming agents enable the process-global registry; leave it clean."""
+    obs.reset_all()
+    obs.disable()
+    yield
+    obs.reset_all()
+    obs.disable()
+
+
+# -- health signal math --------------------------------------------------------
+
+
+class TestFleetTelemetryMath:
+    def test_chunk_rate_ewma_from_intervals(self):
+        telemetry = FleetTelemetry()
+        telemetry.chunk_done("w0", duration_s=0.5, now=10.0)
+        assert telemetry.agents["w0"].chunk_rate() == 0.0  # one point, no rate
+        telemetry.chunk_done("w0", duration_s=0.5, now=12.0)
+        assert telemetry.agents["w0"].chunk_rate() == 0.5  # 1 per 2s
+        # a faster completion pulls the EWMA up by alpha
+        telemetry.chunk_done("w0", duration_s=0.5, now=13.0)
+        interval = telemetry.agents["w0"].ewma_interval_s
+        assert interval == pytest.approx(0.3 * 1.0 + 0.7 * 2.0)
+        assert telemetry.fleet_rate() == pytest.approx(1.0 / interval)
+
+    def test_straggler_score_is_duration_over_fleet_median(self):
+        telemetry = FleetTelemetry()
+        telemetry.chunk_done("fast", duration_s=1.0, now=1.0)
+        telemetry.chunk_done("slow", duration_s=3.0, now=1.0)
+        median = 2.0
+        assert telemetry.straggler_score("fast") == pytest.approx(1.0 / median)
+        assert telemetry.straggler_score("slow") == pytest.approx(3.0 / median)
+        # unknown agents and agents without durations read neutral
+        assert telemetry.straggler_score("nobody") == 1.0
+
+    def test_eta_needs_a_rate(self):
+        telemetry = FleetTelemetry()
+        assert telemetry.eta_s(0) == 0.0
+        assert telemetry.eta_s(5) is None  # no rate yet
+        telemetry.chunk_done("w0", duration_s=0.1, now=1.0)
+        telemetry.chunk_done("w0", duration_s=0.1, now=2.0)  # 1 chunk/s
+        assert telemetry.eta_s(5) == pytest.approx(5.0)
+
+    def test_ingest_counts_rejects(self):
+        telemetry = FleetTelemetry()
+        assert telemetry.ingest("w0", {"kind": "junk"}, now=1.0) is False
+        assert telemetry.ingest("w0", None, now=1.0) is False
+        assert telemetry.telemetry_rejected == 2
+        assert telemetry.telemetry_frames == 0
+        # rejected frames still count as liveness
+        assert telemetry.agents["w0"].last_seen == 1.0
+
+    def test_openmetrics_families_render_and_parse(self):
+        telemetry = FleetTelemetry()
+        telemetry.chunk_done("w0", duration_s=0.5, now=1.0)
+        text = obs.render_openmetrics(
+            telemetry.merger.snapshot(), telemetry.openmetrics_families(2.0)
+        )
+        parsed = parse_openmetrics(text)
+        ((labels, value),) = parsed["repro_fleet_agent_chunks_done"]["samples"]
+        assert labels["agent"] == "w0"
+        assert value == 1
+        ((labels, value),) = parsed["repro_fleet_agent_last_seen_age"]["samples"]
+        assert value == pytest.approx(1.0)
+
+
+# -- event journal -------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_read_round_trip(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        log = EventLog(path)
+        log.emit("serve_start", fingerprint="f" * 8)
+        log.emit("chunk_commit", chunk=3, trace_id=42)
+        log.close()
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["serve_start", "chunk_commit"]
+        assert events[1]["chunk"] == 3
+        assert all("t" in e for e in events)
+
+    def test_disabled_log_writes_nothing(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        log = EventLog(path, enabled=False)
+        log.emit("serve_start")
+        log.close()
+        assert not path.exists()
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        log = EventLog(path)
+        log.emit("serve_start")
+        log.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "chunk_com')  # writer killed mid-line
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["serve_start"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        path.write_text('not json\n{"event": "x"}\n')
+        with pytest.raises(ValueError):
+            read_events(path)
+
+
+# -- streaming end-to-end ------------------------------------------------------
+
+
+class TestStreamingFleet:
+    def test_streaming_agent_feeds_scheduler_telemetry(self, tmp_path):
+        """One streaming agent, slowed so heartbeats actually fire: the
+        scheduler's merger sees delta frames and the final sidecar carries
+        a watch payload the dashboard can read."""
+        cfg = config(trials=48, chunk=8, seed=3)  # 6 chunks
+        chaos = FleetChaos.parse("slow:w0@1|3|5", slow_seconds=0.2)
+
+        async def main():
+            sched = FleetScheduler(
+                tmp_path / "fleet", cfg,
+                policy=policy(heartbeat_interval=0.02, lease_timeout=5.0),
+            )
+            serve = await _start(sched)
+            host, port = sched.endpoint
+            agent = FleetAgent("w0", host=host, port=port, chaos=chaos,
+                               policy=agent_policy(), stream=True)
+            summary = await agent.run()
+            result = await serve
+            return sched, result, summary
+
+        sched, result, summary = asyncio.run(main())
+        assert result.complete
+        assert sched.telemetry.telemetry_frames >= 1
+        merged = sched.telemetry.merger.snapshot()
+        assert merged["counters"].get("reliability.chunks", 0) >= 1
+        assert sched.telemetry.merger.stats()["w0"]["frames"] >= 1
+        # the completed sidecar is dashboard-readable
+        payload = load_watch_dir(tmp_path / "fleet")
+        assert payload["state"] == "complete"
+        assert payload["chunks_done"] == result.chunks_done
+        assert payload["agents"]["w0"]["chunks_done"] == summary.chunks_done
+        assert payload["telemetry_frames"] == sched.telemetry.telemetry_frames
+
+    def test_streaming_chaos_fleet_bit_identical_to_obs_off_reference(
+        self, tmp_path
+    ):
+        """The no-perturbation contract, end to end: three streaming agents
+        under frame drop/dup/reorder chaos still produce the exact tally of
+        an uninterrupted obs-disabled single-process run."""
+        cfg = config(trials=96, chunk=8, seed=11)  # 12 chunks
+        ref = start_campaign(tmp_path / "ref", cfg)
+        chaos = FleetChaos.parse(
+            "drop:w0@3,dup:w1@4,reorder:w2@5,slow:w1@1", slow_seconds=0.1,
+        )
+
+        async def main():
+            sched = FleetScheduler(
+                tmp_path / "fleet", cfg,
+                policy=policy(heartbeat_interval=0.02, lease_timeout=1.0,
+                              retries=4),
+            )
+            serve = await _start(sched)
+            host, port = sched.endpoint
+            agents = [
+                FleetAgent(f"w{i}", host=host, port=port, chaos=chaos,
+                           policy=agent_policy(), stream=True)
+                for i in range(3)
+            ]
+            await asyncio.gather(*(a.run() for a in agents))
+            return sched, await serve
+
+        sched, result = asyncio.run(main())
+        assert result.complete
+        assert counts(result.tally) == counts(ref.tally)  # the whole point
+        assert sched._fatal is None
+
+    def test_event_log_correlates_scheduler_and_agent_spans(self, tmp_path):
+        cfg = config(trials=32, chunk=8, seed=5)  # 4 chunks
+
+        async def main():
+            sched = FleetScheduler(tmp_path / "fleet", cfg, policy=policy())
+            serve = await _start(sched)
+            host, port = sched.endpoint
+            agent = FleetAgent("w0", host=host, port=port,
+                               policy=agent_policy(), stream=True)
+            await agent.run()
+            return sched, await serve
+
+        sched, result = asyncio.run(main())
+        assert result.complete
+        events = read_events(tmp_path / "fleet" / EVENTS_NAME)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "serve_start"
+        assert kinds[-1] == "serve_exit"
+        assert "agent_join" in kinds
+        grants = [e for e in events if e["event"] == "lease_grant"]
+        commits = [e for e in events if e["event"] == "chunk_commit"]
+        assert len(commits) == result.chunks_done
+        fp = sched.manifest.fingerprint
+        granted = {(g["chunk"], g["attempt"]): g["trace_id"] for g in grants}
+        for commit in commits:
+            # trace ids are pure functions of (fingerprint, chunk, attempt):
+            # grant, commit, and the agent-side span all carry the same one
+            # (the commit event's attempt is 1-based, the trace key 0-based)
+            attempt = commit["attempt"] - 1
+            want = stable_trace_id(fp, commit["chunk"], attempt)
+            assert commit["trace_id"] == want
+            assert granted[(commit["chunk"], attempt)] == want
+            assert commit["agent_span"]["trace_id"] == want
+            assert commit["agent_span"]["name"] == "agent.chunk"
+            assert commit["agent_span"]["span_id"] != 0
+
+    def test_no_event_log_policy_writes_no_journal(self, tmp_path):
+        cfg = config(trials=16, chunk=8, seed=2)
+
+        async def main():
+            sched = FleetScheduler(
+                tmp_path / "fleet", cfg, policy=policy(event_log=False),
+            )
+            serve = await _start(sched)
+            host, port = sched.endpoint
+            agent = FleetAgent("w0", host=host, port=port,
+                               policy=agent_policy())
+            await agent.run()
+            return await serve
+
+        result = asyncio.run(main())
+        assert result.complete
+        assert not (tmp_path / "fleet" / EVENTS_NAME).exists()
+
+
+# -- the HTTP side of the frame port -------------------------------------------
+
+
+async def _http_get(host, port, path, method="GET"):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"{method} {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header, _, body = raw.partition(b"\r\n\r\n")
+    status = int(header.split(b" ", 2)[1])
+    return status, header.decode("latin-1"), body.decode()
+
+
+class TestHttpEndpoints:
+    def test_metrics_and_status_share_the_frame_port(self, tmp_path):
+        cfg = config(trials=16, chunk=8, seed=2)
+
+        async def main():
+            sched = FleetScheduler(tmp_path / "fleet", cfg, policy=policy())
+            serve = await _start(sched)
+            host, port = sched.endpoint
+
+            status, header, body = await _http_get(host, port, "/metrics")
+            assert status == 200
+            assert "application/openmetrics-text" in header
+            parse_openmetrics(body)  # terminator + shape, not just a 200
+
+            status, _, body = await _http_get(host, port, "/status")
+            assert status == 200
+            watch = json.loads(body)
+            assert watch["kind"] == "fleet_watch"
+            assert watch["state"] == "serving"
+
+            status, _, _ = await _http_get(host, port, "/nope")
+            assert status == 404
+
+            status, header, body = await _http_get(
+                host, port, "/metrics", method="HEAD")
+            assert status == 200 and body == ""
+
+            # HTTP probes must not have perturbed the frame protocol: a
+            # normal agent joins afterwards and completes the campaign
+            agent = FleetAgent("w0", host=host, port=port,
+                               policy=agent_policy(), stream=True)
+            await agent.run()
+            return sched, await serve
+
+        sched, result = asyncio.run(main())
+        assert result.complete
+        assert sched._fatal is None
+
+    def test_metrics_exposes_agent_health_after_commits(self, tmp_path):
+        cfg = config(trials=32, chunk=8, seed=9)
+        chaos = FleetChaos.parse("slow:w0@2|3", slow_seconds=0.15)
+
+        async def main():
+            sched = FleetScheduler(
+                tmp_path / "fleet", cfg,
+                policy=policy(heartbeat_interval=0.02, lease_timeout=5.0),
+            )
+            serve = await _start(sched)
+            host, port = sched.endpoint
+            agent = FleetAgent("w0", host=host, port=port, chaos=chaos,
+                               policy=agent_policy(), stream=True)
+            agent_task = asyncio.ensure_future(agent.run())
+            # poll until at least one chunk committed, then scrape
+            while not sched.manifest.chunks:
+                await asyncio.sleep(0.01)
+            _, _, body = await _http_get(host, port, "/metrics")
+            result = await serve
+            await agent_task
+            return body, result
+
+        body, result = asyncio.run(main())
+        assert result.complete
+        parsed = parse_openmetrics(body)
+        fam = parsed["repro_fleet_agent_chunks_done"]
+        assert fam["type"] == "counter"
+        ((labels, value),) = fam["samples"]
+        assert labels["agent"] == "w0"
+        assert value >= 1

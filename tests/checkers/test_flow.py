@@ -486,6 +486,41 @@ def test_obs_reads_outside_hot_layers_allowed():
     assert flow_codes(src) == []
 
 
+def test_stream_delta_read_flowing_into_return_flagged():
+    """The streaming layer's reads (encoded deltas) are measurement data
+    too - a hot-layer kernel must not return one."""
+    src = {
+        "src/repro/codes/hot_mod.py": """
+            from repro.obs import DeltaEncoder
+
+            _ENC = DeltaEncoder("fixture")
+
+            def kernel(words):
+                frame = _ENC.delta("chunk")
+                return frame
+        """,
+    }
+    findings = flow_findings(src)
+    assert ("REPRO221", "src/repro/codes/hot_mod.py", 8) in findings
+
+
+def test_stream_reads_in_fleet_layer_allowed():
+    """The scheduler's telemetry aggregation is reporting code, not a hot
+    layer - merging and snapshotting streams there is the point."""
+    src = {
+        "src/repro/campaign/telemetry_mod.py": """
+            from repro.obs import StreamMerger
+
+            def watch(frames):
+                merger = StreamMerger()
+                for frame in frames:
+                    merger.apply(frame)
+                return merger.snapshot("stream")
+        """,
+    }
+    assert flow_codes(src) == []
+
+
 # -- REPRO23x: backend contract ----------------------------------------------
 
 

@@ -1,0 +1,121 @@
+"""OpenMetrics exposition: render/parse round-trips and spec conformance.
+
+The scheduler's ``/metrics`` endpoint is only useful if a real scraper can
+ingest it, so these tests pin the spec-visible shape: ``_total`` suffixes
+on counters, cumulative histogram buckets ending in ``+Inf``, labelled
+derived families, and the mandatory ``# EOF`` terminator (whose absence
+must make the bundled parser - and hence the CI smoke - fail loudly).
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Registry,
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+def sample_snapshot():
+    registry = Registry()
+    registry.counter("campaign.chunks_ok").add(7)
+    registry.gauge("rareevent.ess").set(12.5)
+    hist = registry.histogram("rs.decode.t", (0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry.snapshot(label="test")
+
+
+class TestMetricName:
+    def test_dotted_names_sanitized_and_prefixed(self):
+        assert metric_name("campaign.chunks_ok") == "repro_campaign_chunks_ok"
+        assert metric_name("a-b c.d") == "repro_a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("2x", prefix="") == "_2x"
+
+
+class TestRender:
+    def test_counters_get_total_suffix(self):
+        text = render_openmetrics(sample_snapshot())
+        assert "# TYPE repro_campaign_chunks_ok counter" in text
+        assert "repro_campaign_chunks_ok_total 7" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_openmetrics(sample_snapshot())
+        assert 'repro_rs_decode_t_bucket{le="0.1"} 1' in text
+        assert 'repro_rs_decode_t_bucket{le="1"} 2' in text
+        assert 'repro_rs_decode_t_bucket{le="+Inf"} 3' in text
+        assert "repro_rs_decode_t_count 3" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(None).endswith("# EOF\n")
+        assert render_openmetrics(sample_snapshot()).endswith("# EOF\n")
+
+    def test_labelled_family_rendering(self):
+        text = render_openmetrics(None, families=[{
+            "name": "fleet.agent.chunk_rate", "type": "gauge",
+            "help": "per-agent rate",
+            "samples": [({"agent": "w0"}, 1.5), ({"agent": "w1"}, 0.0)],
+        }])
+        assert "# HELP repro_fleet_agent_chunk_rate per-agent rate" in text
+        assert 'repro_fleet_agent_chunk_rate{agent="w0"} 1.5' in text
+        assert 'repro_fleet_agent_chunk_rate{agent="w1"} 0' in text
+
+    def test_label_values_escaped(self):
+        text = render_openmetrics(None, families=[{
+            "name": "x", "type": "gauge",
+            "samples": [({"agent": 'a"b\\c\nd'}, 1.0)],
+        }])
+        assert '{agent="a\\"b\\\\c\\nd"}' in text
+
+
+class TestParse:
+    def test_roundtrip_folds_suffixes_back(self):
+        parsed = parse_openmetrics(render_openmetrics(sample_snapshot()))
+        assert parsed["repro_campaign_chunks_ok"]["type"] == "counter"
+        ((labels, value),) = parsed["repro_campaign_chunks_ok"]["samples"]
+        assert labels["__sample__"] == "total"
+        assert value == 7
+        hist = parsed["repro_rs_decode_t"]
+        assert hist["type"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for labels, value in hist["samples"]
+            if labels.get("__sample__") == "bucket"
+        ]
+        assert buckets == [("0.1", 1.0), ("1", 2.0), ("+Inf", 3.0)]
+
+    def test_roundtrip_labelled_family(self):
+        text = render_openmetrics(None, families=[{
+            "name": "fleet.agent.chunk_rate", "type": "gauge",
+            "samples": [({"agent": "w0"}, 1.5)],
+        }])
+        parsed = parse_openmetrics(text)
+        ((labels, value),) = parsed["repro_fleet_agent_chunk_rate"]["samples"]
+        assert labels == {"agent": "w0"}
+        assert value == 1.5
+
+    def test_inf_values(self):
+        parsed = parse_openmetrics("x +Inf\n# EOF\n")
+        assert parsed["x"]["samples"][0][1] == math.inf
+
+    def test_missing_eof_raises(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("repro_x_total 1\n")
+
+    def test_truncated_mid_line_raises(self):
+        text = render_openmetrics(sample_snapshot())
+        with pytest.raises(ValueError):
+            parse_openmetrics(text[: len(text) // 2])
+
+    def test_content_after_eof_raises(self):
+        with pytest.raises(ValueError, match="after"):
+            parse_openmetrics("# EOF\nx 1\n")
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_openmetrics("this is not exposition\n# EOF\n")

@@ -1,0 +1,252 @@
+"""Delta streaming substrate: round-trips, loss semantics, ring bounds.
+
+The fleet's live telemetry is only trustworthy if the encode/merge pair
+holds three properties under an adversarial network: applying every frame
+(in any order, with duplicates) reconstructs the registry exactly;
+dropping frames undercounts by exactly the dropped increments and the gap
+counter says so; and a mid-stream registry reset never produces negative
+deltas.  Those properties get Hypothesis inputs, not examples.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DELTA_KIND,
+    DeltaEncoder,
+    Registry,
+    SeriesRing,
+    StreamMerger,
+    frame_is_empty,
+)
+
+BOUNDS = (1.0, 10.0, 100.0)
+
+
+def fill(registry, counters=(), gauges=(), observations=()):
+    for name, amount in counters:
+        registry.counter(name).add(amount)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    for value in observations:
+        registry.histogram("lat", BOUNDS).observe(value)
+
+
+class TestDeltaEncoder:
+    def test_frames_carry_stream_identity(self):
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        fill(registry, counters=[("c", 3)])
+        frame = encoder.delta("chunk-0")
+        assert frame["kind"] == DELTA_KIND
+        assert frame["source"] == "w0"
+        assert frame["seq"] == 0
+        assert frame["label"] == "chunk-0"
+        assert frame["counters"] == {"c": 3}
+        assert encoder.delta()["seq"] == 1
+
+    def test_deltas_are_increments_not_totals(self):
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        fill(registry, counters=[("c", 3)])
+        assert encoder.delta()["counters"] == {"c": 3}
+        fill(registry, counters=[("c", 4)])
+        assert encoder.delta()["counters"] == {"c": 4}  # not 7
+        # no movement -> empty frame, skippable on the wire
+        assert frame_is_empty(encoder.delta())
+
+    def test_registry_reset_yields_full_value_not_negative(self):
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        fill(registry, counters=[("c", 10)], observations=[2.0, 20.0])
+        encoder.delta()
+        registry.reset()  # agent finished a chunk and started fresh
+        fill(registry, counters=[("c", 4)], observations=[5.0])
+        frame = encoder.delta()
+        assert frame["counters"] == {"c": 4}
+        assert frame["histograms"]["lat"]["total"] == 1
+        assert all(n >= 0 for n in frame["histograms"]["lat"]["counts"])
+
+    def test_histogram_delta_ships_bucket_increments(self):
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        fill(registry, observations=[0.5, 5.0])
+        encoder.delta()
+        fill(registry, observations=[50.0])
+        frame = encoder.delta()
+        hist = frame["histograms"]["lat"]
+        assert hist["total"] == 1
+        assert sum(hist["counts"]) == 1
+        assert hist["bounds"] == list(BOUNDS)
+
+
+class TestStreamMerger:
+    def encode_stream(self, source, chunks):
+        """One agent's frames for a list of per-chunk counter dicts."""
+        registry = Registry()
+        encoder = DeltaEncoder(source, registry=registry)
+        frames = []
+        for chunk in chunks:
+            fill(registry, counters=list(chunk.items()))
+            frames.append(encoder.delta())
+        return frames
+
+    def test_duplicates_apply_once(self):
+        merger = StreamMerger()
+        (frame,) = self.encode_stream("w0", [{"c": 5}])
+        assert merger.apply(frame) is True
+        assert merger.apply(dict(frame)) is False
+        assert merger.snapshot()["counters"] == {"c": 5}
+        assert merger.stats()["w0"]["duplicates"] == 1
+
+    def test_garbage_frames_rejected_not_raised(self):
+        merger = StreamMerger()
+        assert merger.apply({"kind": "other"}) is False
+        assert merger.apply({"kind": DELTA_KIND}) is False  # no source
+        assert merger.apply(
+            {"kind": DELTA_KIND, "source": "w0", "seq": -1}
+        ) is False
+        assert merger.apply(
+            {"kind": DELTA_KIND, "source": "w0", "seq": "nope"}
+        ) is False
+
+    def test_gap_accounting_counts_missing_frames(self):
+        merger = StreamMerger()
+        frames = self.encode_stream("w0", [{"c": 1}] * 5)
+        for frame in (frames[0], frames[2], frames[4]):  # 1 and 3 dropped
+            merger.apply(frame)
+        assert merger.stats()["w0"] == {
+            "frames": 3, "duplicates": 0, "gaps": 2, "last_seq": 4,
+        }
+        # advisory loss: undercounts by exactly the dropped increments
+        assert merger.snapshot()["counters"]["c"] == 3
+
+    def test_gauge_reorder_newest_seq_wins(self):
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        registry.gauge("g").set(1.0)
+        first = encoder.delta()
+        registry.gauge("g").set(2.0)
+        second = encoder.delta()
+        merger = StreamMerger()
+        merger.apply(second)
+        merger.apply(first)  # stale write arrives late
+        assert merger.snapshot()["gauges"]["g"] == 2.0
+
+    def test_multi_source_streams_merge(self):
+        merger = StreamMerger()
+        for frame in self.encode_stream("w0", [{"c": 2}]):
+            merger.apply(frame)
+        for frame in self.encode_stream("w1", [{"c": 3}]):
+            merger.apply(frame)
+        assert merger.snapshot()["counters"]["c"] == 5
+        assert merger.sources() == ["w0", "w1"]
+        assert merger.counter_total("w0", "c") == 2
+        assert merger.counter_total("w1", "c") == 3
+
+    def test_tracked_series_receiver_stamped(self):
+        merger = StreamMerger(tracked_series=("c",))
+        frames = self.encode_stream("w0", [{"c": 2}, {"c": 3}])
+        merger.apply(frames[0], at=10.0)
+        merger.apply(frames[1], at=11.0)
+        ring = merger.series("w0", "c")
+        assert ring.points() == [(10.0, 2.0), (11.0, 5.0)]
+        assert merger.series("w0", "unknown") is None
+        assert merger.series("w9", "c") is None
+
+    @given(
+        chunks=st.lists(
+            st.dictionaries(
+                keys=st.sampled_from(["a", "b", "c"]),
+                values=st.integers(min_value=1, max_value=100),
+                min_size=1, max_size=3,
+            ),
+            min_size=1, max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        dup_every=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shuffled_duplicated_stream_reconstructs_registry(
+        self, chunks, seed, dup_every
+    ):
+        """Applying every frame - any order, with duplicates - equals the
+        encoder-side registry exactly; gaps read 0."""
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        frames = []
+        for chunk in chunks:
+            fill(registry, counters=list(chunk.items()))
+            frames.append(encoder.delta())
+        wire = list(frames) + [
+            dict(f) for i, f in enumerate(frames) if i % dup_every == 0
+        ]
+        random.Random(seed).shuffle(wire)
+        merger = StreamMerger()
+        for frame in wire:
+            merger.apply(frame)
+        assert (
+            merger.snapshot()["counters"]
+            == registry.snapshot()["counters"]
+        )
+        assert merger.stats()["w0"]["gaps"] == 0
+        assert merger.stats()["w0"]["frames"] == len(frames)
+
+    @given(
+        observations=st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=500.0,
+                               allow_nan=False),
+                     min_size=0, max_size=4),
+            min_size=1, max_size=6,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shuffled_histogram_stream_reconstructs_buckets(
+        self, observations, seed
+    ):
+        registry = Registry()
+        encoder = DeltaEncoder("w0", registry=registry)
+        frames = []
+        for batch in observations:
+            fill(registry, observations=batch)
+            frames.append(encoder.delta())
+        random.Random(seed).shuffle(frames)
+        merger = StreamMerger()
+        for frame in frames:
+            merger.apply(frame)
+        want = registry.snapshot().get("histograms", {})
+        got = merger.snapshot().get("histograms", {})
+        if not want:
+            assert not got
+        else:
+            assert got["lat"]["counts"] == want["lat"]["counts"]
+            assert got["lat"]["total"] == want["lat"]["total"]
+
+
+class TestSeriesRing:
+    def test_overflow_sheds_oldest_and_counts_drops(self):
+        ring = SeriesRing(maxlen=3)
+        for i in range(5):
+            ring.append(float(i), float(i * 10))
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert ring.points()[0] == (2.0, 20.0)
+        assert ring.last() == (4.0, 40.0)
+
+    def test_rate_over_trailing_window(self):
+        ring = SeriesRing()
+        for t in range(10):  # cumulative counter rising 5/s
+            ring.append(float(t), float(t * 5))
+        assert ring.rate(window_s=4.0) == 5.0
+        assert ring.rate(window_s=100.0) == 5.0
+
+    def test_rate_degenerate_cases(self):
+        ring = SeriesRing()
+        assert ring.rate(5.0) == 0.0
+        ring.append(1.0, 1.0)
+        assert ring.rate(5.0) == 0.0
+        ring.append(1.0, 2.0)  # zero elapsed time
+        assert ring.rate(5.0) == 0.0

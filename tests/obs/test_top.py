@@ -1,0 +1,168 @@
+"""The mission-control dashboard: rendering, sources, and the drive loop.
+
+``obs top`` must render any watch payload (including degenerate ones)
+without raising, honour ``--no-color`` byte-for-byte, tolerate a torn
+final line in a recorded event log, and exit its loop on terminal fleet
+states - all checkable without a live scheduler.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    load_watch_dir,
+    load_watch_events,
+    render_dashboard,
+    run_top,
+)
+from repro.obs.top import STRAGGLER_FLAG, _fmt_eta
+
+
+def watch_payload(**overrides):
+    payload = {
+        "kind": "fleet_watch",
+        "version": 2,
+        "state": "serving",
+        "chunks_done": 3,
+        "total_chunks": 10,
+        "backlog": 7,
+        "quarantined": 0,
+        "fleet_rate": 2.5,
+        "eta_s": 2.8,
+        "lease_churn": {"active": 2, "granted": 5, "expired": 1, "stolen": 1},
+        "telemetry_frames": 12,
+        "agents": {
+            "w0": {"chunk_rate": 2.0, "straggler_score": 0.9,
+                   "chunks_done": 2, "last_seen_age_s": 0.1,
+                   "stream": {"frames": 6, "duplicates": 0, "gaps": 1,
+                              "last_seq": 6}},
+            "w1": {"chunk_rate": 0.5, "straggler_score": 2.1,
+                   "chunks_done": 1, "last_seen_age_s": 1.2,
+                   "stream": {"frames": 6, "duplicates": 1, "gaps": 0,
+                              "last_seq": 5}},
+        },
+        "counters": {"reliability.trials": 768, "campaign.chunks_ok": 3},
+        "gauges": {"rareevent.ess": 37.2, "rareevent.weight_cv2": 0.41},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestRenderDashboard:
+    def test_panels_present(self):
+        text = render_dashboard(watch_payload(), color=False)
+        assert "repro fleet telemetry" in text
+        assert "state=serving" in text
+        assert "chunks 3/10" in text
+        assert "w0" in text and "w1" in text
+        assert "ESS" in text and "37.2" in text
+        assert "7 pending" in text
+        assert "1 stolen" in text
+        assert "reliability.trials" in text
+
+    def test_straggler_flagged(self):
+        assert STRAGGLER_FLAG <= 2.1
+        text = render_dashboard(watch_payload(), color=False)
+        flagged = [line for line in text.splitlines() if "<< straggler" in line]
+        assert len(flagged) == 1 and "w1" in flagged[0]
+
+    def test_no_color_means_no_escapes(self):
+        assert "\x1b[" not in render_dashboard(watch_payload(), color=False)
+        assert "\x1b[" in render_dashboard(watch_payload(), color=True)
+
+    def test_empty_payload_renders(self):
+        text = render_dashboard({}, color=False)
+        assert "no agents reporting" in text
+        assert "no rare-event stream" in text
+
+    def test_eta_formatting(self):
+        assert _fmt_eta(None) == "--"
+        assert _fmt_eta(12.0) == "12.0s"
+        assert _fmt_eta(90.0) == "1.5m"
+        assert _fmt_eta(7200.0) == "2.0h"
+
+
+class TestSources:
+    def test_load_watch_dir(self, tmp_path):
+        payload = watch_payload()
+        (tmp_path / "fleet.json").write_text(
+            json.dumps({"state": "serving", "telemetry": payload})
+        )
+        assert load_watch_dir(tmp_path) == payload
+
+    def test_load_watch_dir_missing_or_pretelemetry(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_watch_dir(tmp_path)
+        (tmp_path / "fleet.json").write_text(json.dumps({"state": "serving"}))
+        with pytest.raises(FileNotFoundError, match="telemetry"):
+            load_watch_dir(tmp_path)
+
+    def test_load_watch_events_takes_last(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        lines = [
+            json.dumps({"event": "watch", "payload": watch_payload(chunks_done=1)}),
+            json.dumps({"event": "lease_grant", "agent": "w0"}),
+            json.dumps({"event": "watch", "payload": watch_payload(chunks_done=2)}),
+        ]
+        log.write_text("\n".join(lines) + "\n")
+        assert load_watch_events(log)["chunks_done"] == 2
+
+    def test_load_watch_events_tolerates_torn_tail(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        good = json.dumps({"event": "watch", "payload": watch_payload()})
+        log.write_text(good + "\n" + '{"event": "watch", "payl')
+        assert load_watch_events(log)["chunks_done"] == 3
+
+    def test_load_watch_events_rejects_corrupt_middle(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        good = json.dumps({"event": "watch", "payload": watch_payload()})
+        log.write_text("not json\n" + good + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_watch_events(log)
+
+    def test_load_watch_events_no_watch_events(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text(json.dumps({"event": "serve_start"}) + "\n")
+        with pytest.raises(FileNotFoundError, match="no watch events"):
+            load_watch_events(log)
+
+
+class TestRunTop:
+    def test_once_renders_single_frame(self):
+        out = io.StringIO()
+        code = run_top(lambda: watch_payload(), once=True, color=False, out=out)
+        assert code == 0
+        assert out.getvalue().count("repro fleet telemetry") == 1
+
+    def test_json_mode_emits_payload(self):
+        out = io.StringIO()
+        code = run_top(lambda: watch_payload(), once=True, as_json=True, out=out)
+        assert code == 0
+        assert json.loads(out.getvalue())["kind"] == "fleet_watch"
+
+    def test_loop_exits_on_terminal_state(self):
+        payloads = iter([
+            watch_payload(state="serving"),
+            watch_payload(state="complete", chunks_done=10),
+        ])
+        out = io.StringIO()
+        code = run_top(lambda: next(payloads), color=False, interval_s=0.0,
+                       out=out)
+        assert code == 0
+        assert out.getvalue().count("repro fleet telemetry") == 2
+
+    def test_fetch_failure_exits_nonzero(self, capsys):
+        def fetch():
+            raise ConnectionError("nobody home")
+
+        assert run_top(fetch, once=True, out=io.StringIO()) == 1
+        assert "nobody home" in capsys.readouterr().err
+
+    def test_iterations_bounds_loop(self):
+        out = io.StringIO()
+        code = run_top(lambda: watch_payload(), color=False, interval_s=0.0,
+                       iterations=3, out=out)
+        assert code == 0
+        assert out.getvalue().count("repro fleet telemetry") == 3

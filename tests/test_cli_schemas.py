@@ -202,7 +202,7 @@ class TestObsReportSchema:
     def assert_report_schema(self, payload):
         assert set(payload) == {
             "kind", "version", "snapshots", "counters", "gauges",
-            "histograms", "spans", "profile",
+            "histograms", "agents", "spans", "profile",
         }
         assert payload["kind"] == "obs_report"
         assert payload["version"] == SNAPSHOT_VERSION
@@ -212,6 +212,8 @@ class TestObsReportSchema:
         for hist in payload["histograms"].values():
             assert set(hist) == {"bounds", "counts", "total", "sum", "min", "max"}
             assert len(hist["counts"]) == len(hist["bounds"]) + 1
+        for section in payload["agents"].values():
+            assert set(section) == {"snapshots", "counters", "gauges"}
 
     def test_from_jsonl_export(self, capsys, obs_campaign):
         _, export = obs_campaign
@@ -235,3 +237,100 @@ class TestObsReportSchema:
     def test_missing_input_exits(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["obs", "report", "--in", str(tmp_path / "nope.jsonl")])
+
+
+WATCH_KEYS = {
+    "kind", "version", "state", "chunks_done", "total_chunks", "backlog",
+    "quarantined", "fleet_rate", "eta_s", "lease_churn", "telemetry_frames",
+    "agents", "counters", "gauges",
+}
+
+
+class TestWatchPayloadSchema:
+    """``obs top --json`` and ``fleet status --watch --json`` emit the
+    fleet watch payload; pin its key set from every CLI surface."""
+
+    @pytest.fixture()
+    def watch_dir(self, tmp_path):
+        from repro.campaign.fleet import EventLog, FleetTelemetry
+        from repro.obs import DeltaEncoder, Registry
+
+        registry = Registry()
+        registry.counter("reliability.trials").add(64)
+        registry.gauge("rareevent.ess").set(41.5)
+        encoder = DeltaEncoder("w0", registry=registry)
+        telemetry = FleetTelemetry()
+        telemetry.ingest("w0", encoder.delta("chunk-0"), now=1.0)
+        telemetry.chunk_done("w0", duration_s=0.5, now=1.5)
+        telemetry.chunk_done("w0", duration_s=0.5, now=2.0)
+        payload = telemetry.watch_snapshot(
+            state="complete", chunks_done=2, total_chunks=2, quarantined=0,
+            leases={"active": [], "granted": 2, "expired": 0, "stolen": 0},
+            now=2.5,
+        )
+        sidecar = {"state": "complete", "telemetry": payload}
+        (tmp_path / "fleet.json").write_text(json.dumps(sidecar))
+        log = EventLog(tmp_path / "events.jsonl")
+        log.emit("watch", payload=payload)
+        log.close()
+        return tmp_path
+
+    def assert_watch_schema(self, payload):
+        assert set(payload) == WATCH_KEYS
+        assert payload["kind"] == "fleet_watch"
+        assert payload["version"] == SNAPSHOT_VERSION
+        assert set(payload["lease_churn"]) == {
+            "active", "granted", "expired", "stolen",
+        }
+        for info in payload["agents"].values():
+            assert set(info) == {
+                "chunk_rate", "straggler_score", "chunks_done",
+                "last_seen_age_s", "stream",
+            }
+            assert set(info["stream"]) == {
+                "frames", "duplicates", "gaps", "last_seq",
+            }
+
+    def test_obs_top_json_from_dir(self, capsys, watch_dir):
+        payload = run_json(
+            capsys, ["obs", "top", "--dir", str(watch_dir), "--json"]
+        )
+        self.assert_watch_schema(payload)
+        assert payload["counters"]["reliability.trials"] == 64
+        assert payload["gauges"]["rareevent.ess"] == 41.5
+        assert payload["agents"]["w0"]["chunks_done"] == 2
+
+    def test_obs_top_json_from_events(self, capsys, watch_dir):
+        payload = run_json(
+            capsys,
+            ["obs", "top", "--in", str(watch_dir / "events.jsonl"), "--json"],
+        )
+        self.assert_watch_schema(payload)
+
+    def test_fleet_status_watch_json(self, capsys, watch_dir):
+        payload = run_json(
+            capsys,
+            ["fleet", "status", "--dir", str(watch_dir), "--watch", "--json"],
+        )
+        self.assert_watch_schema(payload)
+
+    def test_obs_top_renders_panels(self, capsys, watch_dir):
+        main(["obs", "top", "--dir", str(watch_dir), "--once", "--no-color"])
+        out = capsys.readouterr().out
+        assert "repro fleet telemetry" in out
+        assert "w0" in out
+        assert "ESS" in out
+        assert "\x1b[" not in out  # --no-color really is plain
+
+    def test_missing_telemetry_exits_nonzero(self, tmp_path):
+        (tmp_path / "fleet.json").write_text(json.dumps({"state": "serving"}))
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "top", "--dir", str(tmp_path), "--json"])
+        assert exc.value.code == 1
+
+    def test_exactly_one_source_required(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "top", "--json"])
+        with pytest.raises(SystemExit):
+            main(["obs", "top", "--dir", str(tmp_path), "--connect",
+                  "localhost:9", "--json"])
